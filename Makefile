@@ -1,0 +1,45 @@
+# Reproduction of "PLUS: A Distributed Shared-Memory System" (ISCA 1990).
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt experiments experiments-quick golden examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full test log the repository ships with.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Regenerate every table and figure of the paper at full size.
+experiments:
+	$(GO) run ./cmd/plusbench | tee bench_results_full.txt
+
+experiments-quick:
+	$(GO) run ./cmd/plusbench -quick
+
+# Re-pin the golden files after an intentional timing-model change.
+golden:
+	UPDATE_GOLDEN=1 $(GO) test ./experiments -run TestGolden
+
+examples:
+	@for e in quickstart shortestpath beamsearch locks prodcons migration parloop; do \
+		echo "=== $$e ==="; $(GO) run ./examples/$$e || exit 1; \
+	done
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,216 @@
+package beam
+
+import (
+	"testing"
+
+	"plus/internal/sim"
+)
+
+func TestReferenceShape(t *testing.T) {
+	cfg := Config{Layers: 4, States: 8, Branch: 2, MaxWeight: 4}
+	ref := Reference(cfg)
+	if len(ref) != 32 {
+		t.Fatalf("len = %d", len(ref))
+	}
+	for s := 0; s < 8; s++ {
+		if ref[s] != 0 {
+			t.Fatalf("layer 0 score = %d", ref[s])
+		}
+	}
+	// Later layers must be reached (succ covers the layer).
+	for v := 8; v < 32; v++ {
+		if ref[v] == Inf {
+			t.Fatalf("vertex %d unreached in reference", v)
+		}
+	}
+	// Scores grow with depth (all weights >= 1).
+	for l := 1; l < 4; l++ {
+		for s := 0; s < 8; s++ {
+			if ref[l*8+s] < uint32(l) {
+				t.Fatalf("score[%d,%d] = %d below depth bound", l, s, ref[l*8+s])
+			}
+		}
+	}
+}
+
+func TestBlockingMatchesReference(t *testing.T) {
+	cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Layers: 8, States: 16, Branch: 3, Style: Blocking, Validate: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed < uint64(8*16) {
+		t.Fatalf("processed only %d vertices", res.Processed)
+	}
+}
+
+func TestDelayedMatchesReference(t *testing.T) {
+	cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Layers: 8, States: 16, Branch: 3, Style: Delayed, Validate: true}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextSwitchMatchesReference(t *testing.T) {
+	for _, cost := range []sim.Cycles{16, 40, 140} {
+		cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Layers: 6, States: 16, Branch: 3,
+			Style: ContextSwitch, SwitchCost: cost, Validate: true}
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("cost %d: %v", cost, err)
+		}
+	}
+}
+
+func TestContextSwitchRequiresCost(t *testing.T) {
+	if _, err := Run(Config{Style: ContextSwitch}); err == nil {
+		t.Fatal("missing SwitchCost accepted")
+	}
+}
+
+func TestDelayedBranchBudget(t *testing.T) {
+	if _, err := Run(Config{Style: Delayed, Branch: 7}); err == nil {
+		t.Fatal("Branch 7 accepted in delayed style")
+	}
+}
+
+func TestSingleProcBaseline(t *testing.T) {
+	cfg := Config{MeshW: 2, MeshH: 1, Procs: 1, Layers: 8, States: 16, Branch: 3, Style: Blocking, Validate: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization = %f", res.Utilization)
+	}
+}
+
+func TestDelayedFasterThanBlocking(t *testing.T) {
+	// Figure 3-1's core claim: delayed operations beat blocking
+	// synchronization.
+	base := Config{MeshW: 4, MeshH: 2, Procs: 8, Layers: 12, States: 32, Branch: 3, Validate: true}
+	bl := base
+	bl.Style = Blocking
+	rb, err := Run(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := base
+	dl.Style = Delayed
+	rd, err := Run(dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Elapsed >= rb.Elapsed {
+		t.Fatalf("delayed (%d) not faster than blocking (%d)", rd.Elapsed, rb.Elapsed)
+	}
+}
+
+func TestCheapSwitchBeatsExpensiveSwitch(t *testing.T) {
+	base := Config{MeshW: 4, MeshH: 2, Procs: 8, Layers: 10, States: 32, Branch: 3, Style: ContextSwitch, Validate: true}
+	run := func(cost sim.Cycles) uint64 {
+		cfg := base
+		cfg.SwitchCost = cost
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("cost %d: %v", cost, err)
+		}
+		return uint64(r.Elapsed)
+	}
+	t16 := run(16)
+	t140 := run(140)
+	if t16 >= t140 {
+		t.Fatalf("cs16 (%d) not faster than cs140 (%d)", t16, t140)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Layers: 8, States: 16, Branch: 3, Style: Delayed}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Processed != b.Processed {
+		t.Fatalf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+func TestStyleStrings(t *testing.T) {
+	if Blocking.String() != "blocking" || Delayed.String() != "delayed" ||
+		ContextSwitch.String() != "context-switch" || Style(9).String() != "style(?)" {
+		t.Fatal("style strings wrong")
+	}
+}
+
+func TestBeamPruningSoundness(t *testing.T) {
+	// With pruning on, every reached score is still a genuine path
+	// cost: no score may beat the exact reference.
+	cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Layers: 10, States: 32, Branch: 3, Beam: 4}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := Reference(cfg)
+	for v, got := range res.Scores {
+		if got < exact[v] {
+			t.Fatalf("score[%d] = %d beats the optimal %d", v, got, exact[v])
+		}
+	}
+	if res.Pruned == 0 {
+		t.Fatal("narrow beam pruned nothing")
+	}
+	// The per-layer best of the final layer must still be within Beam
+	// of... at least a valid reachable cost: the overall minimum found
+	// equals the true optimum (the best path survives a beam that wide
+	// on this lattice).
+	min := func(xs []uint32, lo, hi int) uint32 {
+		m := xs[lo]
+		for _, x := range xs[lo:hi] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	}
+	lastLo := (cfg.Layers - 1) * cfg.States
+	gotBest := min(res.Scores, lastLo, lastLo+cfg.States)
+	wantBest := min(exact, lastLo, lastLo+cfg.States)
+	if gotBest != wantBest {
+		t.Fatalf("final-layer best %d, optimal %d", gotBest, wantBest)
+	}
+}
+
+func TestBeamPruningReducesWork(t *testing.T) {
+	base := Config{MeshW: 2, MeshH: 2, Procs: 4, Layers: 12, States: 48, Branch: 3}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := base
+	narrow.Beam = 3
+	pruned, err := Run(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Processed+pruned.Pruned == 0 || pruned.Elapsed >= full.Elapsed {
+		t.Fatalf("pruning did not pay: %d >= %d (pruned %d)",
+			pruned.Elapsed, full.Elapsed, pruned.Pruned)
+	}
+}
+
+func TestBeamWideBeamMatchesExact(t *testing.T) {
+	// A beam wider than any possible score spread prunes nothing and
+	// the result is the exact relaxation.
+	cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Layers: 8, States: 16, Branch: 3,
+		Beam: 1 << 20, Validate: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned != 0 {
+		t.Fatalf("wide beam pruned %d vertices", res.Pruned)
+	}
+}

@@ -1,0 +1,76 @@
+package prodsys
+
+import "testing"
+
+func TestClosureMonotone(t *testing.T) {
+	cfg := Config{Facts: 128, Rules: 256, Seeds: 8, Seed: 1}.withDefaults()
+	rules := GenRules(cfg)
+	present := Closure(cfg, rules)
+	// Seeds present.
+	for i := 0; i < cfg.Seeds; i++ {
+		if !present[i*(cfg.Facts/cfg.Seeds)] {
+			t.Fatalf("seed fact %d missing", i)
+		}
+	}
+	// Fixpoint: no rule is still enabled but unfired.
+	for _, r := range rules {
+		if present[r.A] && present[r.B] && !present[r.C] {
+			t.Fatalf("closure not a fixpoint: %v", r)
+		}
+	}
+}
+
+func TestClosureDeterministic(t *testing.T) {
+	cfg := Config{Facts: 64, Rules: 128, Seeds: 4, Seed: 2}.withDefaults()
+	a := Closure(cfg, GenRules(cfg))
+	b := Closure(cfg, GenRules(cfg))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("closure not deterministic")
+		}
+	}
+}
+
+func TestParallelMatchesClosure(t *testing.T) {
+	cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Facts: 256, Rules: 512, Seeds: 8, Seed: 3, Validate: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Derived < 8 {
+		t.Fatalf("derived only %d facts", res.Derived)
+	}
+}
+
+func TestParallelMatchesClosureSingleProc(t *testing.T) {
+	cfg := Config{MeshW: 2, MeshH: 1, Procs: 1, Facts: 128, Rules: 256, Seeds: 4, Seed: 5, Validate: true}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelWithReplication(t *testing.T) {
+	cfg := Config{MeshW: 4, MeshH: 2, Procs: 8, Facts: 512, Rules: 1024, Seeds: 16, Seed: 7, Copies: 3, Validate: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization = %f", res.Utilization)
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	cfg := Config{MeshW: 2, MeshH: 2, Procs: 4, Facts: 128, Rules: 256, Seeds: 4, Seed: 11}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Fired != b.Fired {
+		t.Fatal("nondeterministic run")
+	}
+}

@@ -1,0 +1,93 @@
+package sor
+
+import "testing"
+
+func TestReferenceConverges(t *testing.T) {
+	cfg := Config{N: 16, Iters: 4}.withDefaults()
+	g := Reference(cfg)
+	// Heat must have diffused off the hot top edge into the interior.
+	warmed := 0
+	for r := 1; r < cfg.N-1; r++ {
+		for c := 1; c < cfg.N-1; c++ {
+			if g[r*cfg.N+c] > 0 {
+				warmed++
+			}
+		}
+	}
+	if warmed == 0 {
+		t.Fatal("no diffusion happened")
+	}
+	// Boundaries unchanged.
+	for c := 0; c < cfg.N; c++ {
+		if g[c] != 10000 {
+			t.Fatalf("top boundary modified at %d", c)
+		}
+	}
+}
+
+func TestParallelMatchesReference(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		cfg := Config{MeshW: 4, MeshH: 2, Procs: procs, N: 32, Iters: 2, Validate: true}
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestParallelWithReplicationMatches(t *testing.T) {
+	cfg := Config{MeshW: 4, MeshH: 2, Procs: 8, N: 96, Iters: 2, ReplicateBoundaries: true, Validate: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no updates")
+	}
+}
+
+func TestRegularWorkloadScalesWell(t *testing.T) {
+	// The contrast with the sync-heavy workloads: SOR with replicated
+	// halos should speed up nearly linearly from 1 to 4 processors.
+	run := func(procs int) uint64 {
+		// N=64 gives each of the 4 processors a whole page strip.
+		cfg := Config{MeshW: 2, MeshH: 2, Procs: procs, N: 64, Iters: 3,
+			ReplicateBoundaries: true, Validate: true}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(res.Elapsed)
+	}
+	t1 := run(1)
+	t4 := run(4)
+	speedup := float64(t1) / float64(t4)
+	if speedup < 2.5 {
+		t.Fatalf("speedup at 4 procs = %.2f, want near-linear", speedup)
+	}
+}
+
+func TestReplicationHelpsHaloReads(t *testing.T) {
+	base := Config{MeshW: 4, MeshH: 2, Procs: 8, N: 96, Iters: 2, Validate: true}
+	r1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := base
+	repl.ReplicateBoundaries = true
+	r2, err := Run(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Elapsed >= r1.Elapsed {
+		t.Fatalf("boundary replication did not help: %d >= %d", r2.Elapsed, r1.Elapsed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{MeshW: 2, MeshH: 1, Procs: 2, N: 3}); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := Run(Config{MeshW: 2, MeshH: 1, Procs: 9}); err == nil {
+		t.Fatal("procs > nodes accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package sssp
+
+import "testing"
+
+func TestSingleProcLargeGraph(t *testing.T) {
+	// The regression that used to livelock: one processor, a graph
+	// larger than one hardware queue's capacity.
+	res, err := Run(Config{MeshW: 1, MeshH: 1, Procs: 1, Vertices: 1024, Seed: 42, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relaxations < 1024 {
+		t.Fatalf("relaxations = %d", res.Relaxations)
+	}
+}

@@ -1,0 +1,280 @@
+package plus_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablations and simulator micro-benchmarks. Each experiment benchmark
+// runs the same code as cmd/plusbench (quick problem sizes so the
+// whole suite stays fast) and reports the simulated-cycle results as
+// custom metrics; `go run ./cmd/plusbench` regenerates the full-size
+// tables recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"plus"
+	"plus/apps/beam"
+	"plus/apps/sor"
+	"plus/apps/sssp"
+	"plus/experiments"
+)
+
+// BenchmarkTable2_1 regenerates Table 2-1 (effect of replication on
+// messages, SSSP on 16 processors, copies 1..5).
+func BenchmarkTable2_1(b *testing.B) {
+	var rows []experiments.Table21Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table21(experiments.Table21Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ReadRatio, "readsLR@1copy")
+	b.ReportMetric(rows[4].ReadRatio, "readsLR@5copies")
+	b.ReportMetric(rows[4].UpdateRatio, "totalPerUpdate@5copies")
+}
+
+// BenchmarkFigure2_1 regenerates Figure 2-1 (SSSP efficiency and
+// utilization vs processors, with and without replication).
+func BenchmarkFigure2_1(b *testing.B) {
+	var pts []experiments.Fig21Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Figure21(experiments.Fig21Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Procs == 16 {
+			if p.Replicated {
+				b.ReportMetric(p.Efficiency, "eff@16repl")
+			} else {
+				b.ReportMetric(p.Efficiency, "eff@16none")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3_1 regenerates Table 3-1 (delayed-operation execution
+// cycles at the coherence manager).
+func BenchmarkTable3_1(b *testing.B) {
+	var rows []experiments.Table31Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table31()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.MeasuredExec != r.PaperCycles {
+			b.Fatalf("%v: measured %d, paper %d", r.Op, r.MeasuredExec, r.PaperCycles)
+		}
+	}
+	b.ReportMetric(float64(rows[0].MeasuredExec), "simpleOpCycles")
+	b.ReportMetric(float64(rows[4].MeasuredExec), "queueOpCycles")
+}
+
+// BenchmarkFigure3_1 regenerates Figure 3-1 (beam-search efficiency by
+// synchronization style).
+func BenchmarkFigure3_1(b *testing.B) {
+	var pts []experiments.Fig31Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Figure31(experiments.Fig31Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Procs == 8 {
+			switch p.Label {
+			case "delayed":
+				b.ReportMetric(p.Efficiency, "eff@8delayed")
+			case "blocking":
+				b.ReportMetric(p.Efficiency, "eff@8blocking")
+			case "cs-40":
+				b.ReportMetric(p.Efficiency, "eff@8cs40")
+			}
+		}
+	}
+}
+
+// BenchmarkSection3_1Costs regenerates the §3.1 cost anatomy (latency
+// vs hop distance).
+func BenchmarkSection3_1Costs(b *testing.B) {
+	var rows []experiments.CostRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Section31Costs()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].RoundTrip), "adjacentRT")
+	b.ReportMetric(float64(rows[0].RemoteRead), "adjacentRead")
+}
+
+// BenchmarkAblationFence compares explicit fences (PLUS) against
+// implicit fences at every synchronization (DASH-style).
+func BenchmarkAblationFence(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationFence(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Elapsed), "explicitFenceCycles")
+	b.ReportMetric(float64(rows[1].Elapsed), "fenceEverySyncCycles")
+}
+
+// BenchmarkAblationPendingWrites sweeps the pending-writes cache depth.
+func BenchmarkAblationPendingWrites(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationPendingWrites(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Elapsed), "depth1Cycles")
+	b.ReportMetric(float64(rows[3].Elapsed), "depth8Cycles")
+}
+
+// BenchmarkAblationDelayedSlots sweeps the delayed-op cache depth.
+func BenchmarkAblationDelayedSlots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDelayedSlots(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationContention toggles the link-contention model.
+func BenchmarkAblationContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationContention(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCompetitive sweeps the competitive-replication
+// threshold.
+func BenchmarkAblationCompetitive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCompetitive(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Simulator micro-benchmarks (host performance, not paper data) -----
+
+// BenchmarkSimRemoteRead measures host time per simulated remote read.
+func BenchmarkSimRemoteRead(b *testing.B) {
+	m, err := plus.New(plus.DefaultConfig(2, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := m.Alloc(1, 1)
+	n := b.N
+	m.Spawn(0, func(t *plus.Thread) {
+		for i := 0; i < n; i++ {
+			t.Read(data + plus.VAddr(i%1024))
+		}
+	})
+	b.ResetTimer()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimReplicatedWrite measures host time per simulated write
+// propagated down a 4-copy list.
+func BenchmarkSimReplicatedWrite(b *testing.B) {
+	m, err := plus.New(plus.DefaultConfig(4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := m.Alloc(0, 1)
+	m.Replicate(data, 1, 2, 3)
+	n := b.N
+	m.Spawn(0, func(t *plus.Thread) {
+		for i := 0; i < n; i++ {
+			t.Write(data+plus.VAddr(i%1024), plus.Word(uint32(i)))
+			if i%4 == 3 {
+				t.Fence()
+			}
+		}
+		t.Fence()
+	})
+	b.ResetTimer()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimFadd measures host time per simulated remote
+// fetch-and-add round trip.
+func BenchmarkSimFadd(b *testing.B) {
+	m, err := plus.New(plus.DefaultConfig(2, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctr := m.Alloc(1, 1)
+	n := b.N
+	m.Spawn(0, func(t *plus.Thread) {
+		for i := 0; i < n; i++ {
+			t.FaddSync(ctr, 1)
+		}
+	})
+	b.ResetTimer()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimSSSP measures whole-workload simulation speed.
+func BenchmarkSimSSSP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sssp.Run(sssp.Config{
+			MeshW: 4, MeshH: 2, Procs: 8, Vertices: 256, Seed: 1, Copies: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSORScaling measures the regular-workload contrast: SOR
+// speedup from 1 to 4 processors (near-linear, unlike the sync-heavy
+// applications) — an extension experiment beyond the paper's tables.
+func BenchmarkSORScaling(b *testing.B) {
+	var t1, t4 uint64
+	for i := 0; i < b.N; i++ {
+		r1, err := sor.Run(sor.Config{MeshW: 2, MeshH: 2, Procs: 1, N: 64, Iters: 2, ReplicateBoundaries: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r4, err := sor.Run(sor.Config{MeshW: 2, MeshH: 2, Procs: 4, N: 64, Iters: 2, ReplicateBoundaries: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1, t4 = uint64(r1.Elapsed), uint64(r4.Elapsed)
+	}
+	b.ReportMetric(float64(t1)/float64(t4), "speedup@4procs")
+}
+
+// BenchmarkSimBeam measures whole-workload simulation speed.
+func BenchmarkSimBeam(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := beam.Run(beam.Config{
+			MeshW: 4, MeshH: 2, Procs: 8, Layers: 10, States: 32, Style: beam.Delayed,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

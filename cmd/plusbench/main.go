@@ -1,0 +1,105 @@
+// Command plusbench regenerates every table and figure of the PLUS
+// paper's evaluation, plus the ablation sweeps, printing the same rows
+// the paper reports.
+//
+// Usage:
+//
+//	plusbench [-exp all|table2-1|figure2-1|table3-1|figure3-1|costs|ablations] [-quick] [-full-procs N]
+//
+// Results print to stdout; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plus/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table2-1, figure2-1, table3-1, figure3-1, costs, ablations")
+	quick := flag.Bool("quick", false, "shrink problem sizes for a fast run")
+	maxProcs := flag.Int("max-procs", 0, "cap the processor sweep (0 = experiment default)")
+	chart := flag.Bool("chart", false, "render the figures as ASCII charts as well")
+	flag.Parse()
+
+	run := func(name string, fn func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("table2-1", func() (string, error) {
+		rows, err := experiments.Table21(experiments.Table21Config{Quick: *quick})
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable21(rows), nil
+	})
+	run("figure2-1", func() (string, error) {
+		pts, err := experiments.Figure21(experiments.Fig21Config{Quick: *quick, MaxProcs: *maxProcs})
+		if err != nil {
+			return "", err
+		}
+		out := experiments.FormatFigure21(pts)
+		if *chart {
+			out += "\n" + experiments.ChartFigure21(pts)
+		}
+		return out, nil
+	})
+	run("table3-1", func() (string, error) {
+		rows, err := experiments.Table31()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable31(rows), nil
+	})
+	run("figure3-1", func() (string, error) {
+		pts, err := experiments.Figure31(experiments.Fig31Config{Quick: *quick, MaxProcs: *maxProcs})
+		if err != nil {
+			return "", err
+		}
+		out := experiments.FormatFigure31(pts)
+		if *chart {
+			out += "\n" + experiments.ChartFigure31(pts)
+		}
+		return out, nil
+	})
+	run("costs", func() (string, error) {
+		rows, err := experiments.Section31Costs()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatCosts(rows), nil
+	})
+	run("ablations", func() (string, error) {
+		out := ""
+		for _, a := range []struct {
+			title string
+			fn    func(bool) ([]experiments.AblationRow, error)
+		}{
+			{"Ablation: explicit fence vs fence-at-every-sync", experiments.AblationFence},
+			{"Ablation: write-update vs write-invalidate", experiments.AblationInvalidate},
+			{"Ablation: pending-writes cache depth", experiments.AblationPendingWrites},
+			{"Ablation: delayed-operations cache depth", experiments.AblationDelayedSlots},
+			{"Ablation: network contention model", experiments.AblationContention},
+			{"Ablation: competitive replication threshold", experiments.AblationCompetitive},
+			{"Extension: PLUS vs software shared virtual memory (§4)", experiments.ExtensionSoftwareDSM},
+			{"Extension: profile-guided placement (§2.4 second mode)", experiments.ExtensionProfilePlacement},
+		} {
+			rows, err := a.fn(*quick)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", a.title, err)
+			}
+			out += experiments.FormatAblation(a.title, rows) + "\n"
+		}
+		return out, nil
+	})
+}

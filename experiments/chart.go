@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// chartSeries is one curve of an ASCII chart.
+type chartSeries struct {
+	name   string
+	marker byte
+	ys     map[int]float64 // x (processors) → y
+}
+
+// renderChart draws curves over a shared x-axis of processor counts
+// (log-spaced by index, as the paper's figures are) on a text canvas.
+func renderChart(title, yLabel string, xs []int, series []chartSeries, height int) string {
+	if height < 4 {
+		height = 12
+	}
+	var ymax float64
+	for _, s := range series {
+		for _, y := range s.ys {
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	const colsPerX = 8
+	width := colsPerX * len(xs)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for xi, x := range xs {
+			y, ok := s.ys[x]
+			if !ok {
+				continue
+			}
+			row := height - 1 - int(y/ymax*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := xi*colsPerX + colsPerX/2
+			if grid[row][col] == ' ' {
+				grid[row][col] = s.marker
+			} else {
+				grid[row][col] = '*' // overlapping points
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r := range grid {
+		yval := ymax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%6.2f |%s\n", yval, grid[r])
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        ")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-*d", colsPerX, x)
+	}
+	fmt.Fprintf(&b, "  (%s vs processors)\n", yLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "        %c = %s\n", s.marker, s.name)
+	}
+	return b.String()
+}
+
+// ChartFigure21 renders Figure 2-1 as an ASCII efficiency chart.
+func ChartFigure21(pts []Fig21Point) string {
+	none := chartSeries{name: "no replication", marker: 'o', ys: map[int]float64{}}
+	repl := chartSeries{name: "replicated", marker: '#', ys: map[int]float64{}}
+	xset := map[int]bool{}
+	for _, p := range pts {
+		xset[p.Procs] = true
+		if p.Replicated {
+			repl.ys[p.Procs] = p.Efficiency
+		} else {
+			none.ys[p.Procs] = p.Efficiency
+		}
+	}
+	return renderChart("Figure 2-1 (rendered): SSSP efficiency", "efficiency",
+		sortedKeys(xset), []chartSeries{none, repl}, 14)
+}
+
+// ChartFigure31 renders Figure 3-1 as an ASCII efficiency chart.
+func ChartFigure31(pts []Fig31Point) string {
+	markers := map[string]byte{
+		"blocking": 'b', "delayed": 'd', "cs-16": '1', "cs-40": '4', "cs-140": 'x',
+	}
+	byLabel := map[string]*chartSeries{}
+	order := []string{"blocking", "delayed", "cs-16", "cs-40", "cs-140"}
+	for _, l := range order {
+		byLabel[l] = &chartSeries{name: l, marker: markers[l], ys: map[int]float64{}}
+	}
+	xset := map[int]bool{}
+	for _, p := range pts {
+		xset[p.Procs] = true
+		if s := byLabel[p.Label]; s != nil {
+			s.ys[p.Procs] = p.Efficiency
+		}
+	}
+	var series []chartSeries
+	for _, l := range order {
+		series = append(series, *byLabel[l])
+	}
+	return renderChart("Figure 3-1 (rendered): beam-search efficiency by sync style",
+		"efficiency", sortedKeys(xset), series, 14)
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartFigure21Renders(t *testing.T) {
+	pts := []Fig21Point{
+		{Procs: 1, Replicated: false, Efficiency: 1.0},
+		{Procs: 2, Replicated: false, Efficiency: 0.8},
+		{Procs: 2, Replicated: true, Efficiency: 0.95},
+		{Procs: 4, Replicated: false, Efficiency: 0.7},
+		{Procs: 4, Replicated: true, Efficiency: 0.82},
+	}
+	out := ChartFigure21(pts)
+	for _, want := range []string{"Figure 2-1", "o = no replication", "# = replicated", "efficiency vs processors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The single-processor point (efficiency 1.0) must sit on the top row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "o") {
+		t.Errorf("top row missing the 1.0 point:\n%s", out)
+	}
+}
+
+func TestChartFigure31Renders(t *testing.T) {
+	pts := []Fig31Point{
+		{Procs: 1, Label: "blocking", Efficiency: 1.0},
+		{Procs: 1, Label: "delayed", Efficiency: 1.1},
+		{Procs: 8, Label: "cs-140", Efficiency: 0.4},
+		{Procs: 8, Label: "cs-16", Efficiency: 0.9},
+	}
+	out := ChartFigure31(pts)
+	for _, want := range []string{"Figure 3-1", "b = blocking", "d = delayed", "x = cs-140"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestChartOverlapMarker(t *testing.T) {
+	// Two series at the same grid cell collapse to '*'.
+	pts := []Fig21Point{
+		{Procs: 4, Replicated: false, Efficiency: 0.5},
+		{Procs: 4, Replicated: true, Efficiency: 0.5},
+	}
+	out := ChartFigure21(pts)
+	if !strings.Contains(out, "*") {
+		t.Errorf("overlap not marked:\n%s", out)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	out := renderChart("t", "y", []int{1, 2}, []chartSeries{{name: "empty", marker: 'e', ys: map[int]float64{}}}, 6)
+	if !strings.Contains(out, "e = empty") {
+		t.Error("legend missing for empty series")
+	}
+}

@@ -1,0 +1,315 @@
+// Package experiments regenerates every table and figure of the PLUS
+// paper's evaluation, plus the ablations called out in DESIGN.md. Each
+// experiment returns structured rows and renders the same table the
+// paper prints; cmd/plusbench and the repository-root benchmarks are
+// thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"plus/apps/beam"
+	"plus/apps/sssp"
+	"plus/internal/sim"
+)
+
+// meshFor returns a near-square mesh holding at least p nodes.
+func meshFor(p int) (w, h int) {
+	switch {
+	case p <= 1:
+		return 1, 1
+	case p <= 2:
+		return 2, 1
+	case p <= 4:
+		return 2, 2
+	case p <= 8:
+		return 4, 2
+	case p <= 16:
+		return 4, 4
+	case p <= 32:
+		return 8, 4
+	default:
+		return 8, 8
+	}
+}
+
+// --- Table 2-1: Effect of Replication on Messages ----------------------
+
+// Table21Row is one replication level of Table 2-1.
+type Table21Row struct {
+	Copies      int
+	ReadRatio   float64 // reads local/remote
+	WriteRatio  float64 // writes local/remote
+	UpdateRatio float64 // total messages / update messages
+	Messages    uint64
+	Updates     uint64
+	Elapsed     sim.Cycles
+}
+
+// Table21Config scales the experiment. Quick shrinks the graph for
+// fast test runs.
+type Table21Config struct {
+	Quick bool
+}
+
+// Table21 runs SSSP on 16 processors at replication levels 1..5
+// (the paper's Table 2-1 setup: "the 16-processor case of Figure
+// 2-1").
+func Table21(cfg Table21Config) ([]Table21Row, error) {
+	vertices := 1024
+	if cfg.Quick {
+		vertices = 256
+	}
+	var rows []Table21Row
+	for copies := 1; copies <= 5; copies++ {
+		res, err := sssp.Run(sssp.Config{
+			MeshW: 4, MeshH: 4, Procs: 16,
+			Vertices: vertices, Degree: 4, Seed: 42,
+			Copies: copies, Validate: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table 2-1 copies=%d: %w", copies, err)
+		}
+		rows = append(rows, Table21Row{
+			Copies:      copies,
+			ReadRatio:   res.ReadRatio,
+			WriteRatio:  res.WriteRatio,
+			UpdateRatio: res.UpdateRatio,
+			Messages:    res.Messages,
+			Updates:     res.Updates,
+			Elapsed:     res.Elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable21 renders rows like the paper's Table 2-1.
+func FormatTable21(rows []Table21Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2-1: Effect of Replication on Messages (SSSP, 16 procs)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %10s %10s\n",
+		"Copies", "Reads L/R", "Writes L/R", "Total/Upd", "Messages", "Elapsed")
+	for _, r := range rows {
+		upd := "-"
+		if r.Updates > 0 {
+			upd = fmt.Sprintf("%.2f", r.UpdateRatio)
+		}
+		fmt.Fprintf(&b, "%-8d %12.2f %12.2f %12s %10d %10d\n",
+			r.Copies, r.ReadRatio, r.WriteRatio, upd, r.Messages, r.Elapsed)
+	}
+	return b.String()
+}
+
+// --- Figure 2-1: SSSP efficiency & utilization vs processors -----------
+
+// Fig21Point is one (processors, replication) sample.
+type Fig21Point struct {
+	Procs       int
+	Replicated  bool
+	Copies      int
+	Elapsed     sim.Cycles
+	Efficiency  float64
+	Utilization float64
+}
+
+// Fig21Config scales the experiment.
+type Fig21Config struct {
+	Quick bool
+	// MaxProcs truncates the sweep (default 64; quick default 16).
+	MaxProcs int
+}
+
+// Figure21 sweeps processors with and without replication. Efficiency
+// is T(1)/(P·T(P)) with T(1) measured on the same simulator.
+func Figure21(cfg Fig21Config) ([]Fig21Point, error) {
+	vertices := 1024
+	maxP := cfg.MaxProcs
+	if maxP == 0 {
+		maxP = 64
+	}
+	if cfg.Quick {
+		vertices = 256
+		if cfg.MaxProcs == 0 {
+			maxP = 16
+		}
+	}
+	run := func(p, copies int) (sssp.Result, error) {
+		w, h := meshFor(p)
+		return sssp.Run(sssp.Config{
+			MeshW: w, MeshH: h, Procs: p,
+			Vertices: vertices, Degree: 4, Seed: 42,
+			Copies: copies, Validate: true,
+		})
+	}
+	base, err := run(1, 1)
+	if err != nil {
+		return nil, fmt.Errorf("figure 2-1 baseline: %w", err)
+	}
+	t1 := float64(base.Elapsed)
+
+	var pts []Fig21Point
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if p > maxP {
+			break
+		}
+		for _, repl := range []bool{false, true} {
+			copies := 1
+			if repl {
+				copies = p
+				if copies > 4 {
+					copies = 4
+				}
+			}
+			if p == 1 && repl {
+				continue // replication is meaningless on one node
+			}
+			res, err := run(p, copies)
+			if err != nil {
+				return nil, fmt.Errorf("figure 2-1 p=%d copies=%d: %w", p, copies, err)
+			}
+			pts = append(pts, Fig21Point{
+				Procs:       p,
+				Replicated:  repl,
+				Copies:      copies,
+				Elapsed:     res.Elapsed,
+				Efficiency:  t1 / (float64(p) * float64(res.Elapsed)),
+				Utilization: res.Utilization,
+			})
+		}
+	}
+	return pts, nil
+}
+
+// FormatFigure21 renders the two curves of Figure 2-1 as a table.
+func FormatFigure21(pts []Fig21Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2-1: SSSP efficiency and utilization vs processors\n")
+	fmt.Fprintf(&b, "%-6s %-12s %-7s %12s %12s %12s\n",
+		"Procs", "Replication", "Copies", "Elapsed", "Efficiency", "Utilization")
+	for _, p := range pts {
+		mode := "none"
+		if p.Replicated {
+			mode = "replicated"
+		}
+		fmt.Fprintf(&b, "%-6d %-12s %-7d %12d %12.3f %12.3f\n",
+			p.Procs, mode, p.Copies, p.Elapsed, p.Efficiency, p.Utilization)
+	}
+	return b.String()
+}
+
+// --- Figure 3-1: beam search efficiency by synchronization style -------
+
+// Fig31Point is one (processors, style) sample.
+type Fig31Point struct {
+	Procs      int
+	Label      string
+	Elapsed    sim.Cycles
+	Efficiency float64
+}
+
+// Fig31Config scales the experiment.
+type Fig31Config struct {
+	Quick    bool
+	MaxProcs int
+}
+
+type fig31Style struct {
+	label string
+	style beam.Style
+	cost  sim.Cycles
+}
+
+func fig31Styles() []fig31Style {
+	return []fig31Style{
+		{"blocking", beam.Blocking, 0},
+		{"delayed", beam.Delayed, 0},
+		{"cs-16", beam.ContextSwitch, 16},
+		{"cs-40", beam.ContextSwitch, 40},
+		{"cs-140", beam.ContextSwitch, 140},
+	}
+}
+
+// Figure31 sweeps beam search over processors for the five curves of
+// Figure 3-1: blocking synchronization, delayed operations, and
+// context switching at 16/40/140 cycles. Efficiency for each curve is
+// normalized to the blocking single-processor run, as the paper
+// normalizes to the sequential execution.
+func Figure31(cfg Fig31Config) ([]Fig31Point, error) {
+	layers, states := 32, 96
+	maxP := cfg.MaxProcs
+	if maxP == 0 {
+		maxP = 64
+	}
+	if cfg.Quick {
+		layers, states = 16, 48
+		if cfg.MaxProcs == 0 {
+			maxP = 8
+		}
+	}
+	run := func(p int, st fig31Style) (beam.Result, error) {
+		w, h := meshFor(p)
+		return beam.Run(beam.Config{
+			MeshW: w, MeshH: h, Procs: p,
+			Layers: layers, States: states, Branch: 3,
+			Style: st.style, SwitchCost: st.cost,
+			Validate: true,
+		})
+	}
+	base, err := run(1, fig31Styles()[0])
+	if err != nil {
+		return nil, fmt.Errorf("figure 3-1 baseline: %w", err)
+	}
+	t1 := float64(base.Elapsed)
+
+	var pts []Fig31Point
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if p > maxP {
+			break
+		}
+		for _, st := range fig31Styles() {
+			res, err := run(p, st)
+			if err != nil {
+				return nil, fmt.Errorf("figure 3-1 p=%d %s: %w", p, st.label, err)
+			}
+			pts = append(pts, Fig31Point{
+				Procs:      p,
+				Label:      st.label,
+				Elapsed:    res.Elapsed,
+				Efficiency: t1 / (float64(p) * float64(res.Elapsed)),
+			})
+		}
+	}
+	return pts, nil
+}
+
+// FormatFigure31 renders the five curves of Figure 3-1.
+func FormatFigure31(pts []Fig31Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3-1: Beam search efficiency vs processors by sync style\n")
+	fmt.Fprintf(&b, "%-6s %-10s %12s %12s\n", "Procs", "Style", "Elapsed", "Efficiency")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-6d %-10s %12d %12.3f\n", p.Procs, p.Label, p.Elapsed, p.Efficiency)
+	}
+	return b.String()
+}
+
+// --- Ablations ----------------------------------------------------------
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Label    string
+	Elapsed  sim.Cycles
+	Messages uint64
+	Extra    string
+}
+
+// FormatAblation renders a sweep.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-28s %12s %10s  %s\n", title, "Config", "Elapsed", "Messages", "Notes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %12d %10d  %s\n", r.Label, r.Elapsed, r.Messages, r.Extra)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden tests pin the deterministic simulation down to the cycle:
+// any change to the timing model, protocol state machines, scheduling
+// order or workload generation shows up as a golden diff. Regenerate
+// intentionally with:
+//
+//	go test ./experiments -run TestGolden -update
+var update = os.Getenv("UPDATE_GOLDEN") == "1"
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with UPDATE_GOLDEN=1 to create): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("golden mismatch for %s.\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+func TestGoldenTable21(t *testing.T) {
+	rows, err := Table21(Table21Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2-1.quick", FormatTable21(rows))
+}
+
+func TestGoldenTable31(t *testing.T) {
+	rows, err := Table31()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3-1", FormatTable31(rows))
+}
+
+func TestGoldenCosts(t *testing.T) {
+	rows, err := Section31Costs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "costs", FormatCosts(rows))
+}
+
+func TestGoldenFigure21(t *testing.T) {
+	pts, err := Figure21(Fig21Config{Quick: true, MaxProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure2-1.quick", FormatFigure21(pts))
+}

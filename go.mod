@@ -1,0 +1,3 @@
+module plus
+
+go 1.24

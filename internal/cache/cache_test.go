@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plus/internal/memory"
+	"plus/internal/timing"
+)
+
+func newTestCache() *Cache {
+	return New(Config{SizeWords: 64, LineWords: 4}, timing.Default())
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	c := newTestCache()
+	tm := timing.Default()
+	if cost := c.Read(0, 0); cost != tm.CacheLineFill {
+		t.Fatalf("cold read cost %d, want %d", cost, tm.CacheLineFill)
+	}
+	if cost := c.Read(0, 0); cost != tm.CacheHit {
+		t.Fatalf("warm read cost %d, want %d", cost, tm.CacheHit)
+	}
+	// Same line, different word: hit.
+	if cost := c.Read(0, 3); cost != tm.CacheHit {
+		t.Fatalf("same-line read cost %d, want hit", cost)
+	}
+	// Next line: miss.
+	if cost := c.Read(0, 4); cost != tm.CacheLineFill {
+		t.Fatalf("next-line read cost %d, want miss", cost)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := newTestCache() // 16 lines
+	c.Read(0, 0)
+	// A line exactly 16 lines away maps to the same slot.
+	c.Read(0, 16*4)
+	if cost := c.Read(0, 0); cost != timing.Default().CacheLineFill {
+		t.Fatalf("conflict victim still cached (cost %d)", cost)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := newTestCache()
+	tm := timing.Default()
+	// Write-through miss does not allocate.
+	c.Write(0, 0, true)
+	if cost := c.Read(0, 0); cost != tm.CacheLineFill {
+		t.Fatalf("write-through allocated the line (read cost %d)", cost)
+	}
+	// After the line is resident, a write-through write hits and the
+	// line never becomes dirty, so flush writes nothing back.
+	c.Write(0, 0, true)
+	if c.Flush() != 0 {
+		t.Fatal("write-through line was dirty")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	c := newTestCache()
+	tm := timing.Default()
+	c.Write(0, 0, false) // allocate dirty
+	// Conflict evicts the dirty line: fill + writeback.
+	if cost := c.Write(0, 16*4, false); cost != 2*tm.CacheLineFill {
+		t.Fatalf("dirty eviction cost %d, want %d", cost, 2*tm.CacheLineFill)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestSnoopUpdatesLine(t *testing.T) {
+	c := newTestCache()
+	c.Read(0, 0)
+	c.Snoop(0, 1) // same line
+	if c.Stats().SnoopHits != 1 {
+		t.Fatalf("snoop hits = %d", c.Stats().SnoopHits)
+	}
+	// Line remains valid: next read is a hit (Dragon-style update,
+	// not invalidate).
+	if cost := c.Read(0, 0); cost != timing.Default().CacheHit {
+		t.Fatalf("post-snoop read cost %d, want hit", cost)
+	}
+	// Snoop of an absent line is a no-op.
+	c.Snoop(5, 0)
+	if c.Stats().SnoopHits != 1 {
+		t.Fatal("snoop of absent line counted as hit")
+	}
+}
+
+func TestSnoopCleansDirtyLine(t *testing.T) {
+	c := newTestCache()
+	c.Write(0, 0, false) // dirty copy-back line
+	c.Snoop(0, 0)        // CM wrote memory: memory now matches
+	if got := c.Flush(); got != 0 {
+		t.Fatalf("flush after snoop wrote back %d cycles", got)
+	}
+}
+
+func TestFlushInvalidatesAll(t *testing.T) {
+	c := newTestCache()
+	for off := uint32(0); off < 64; off += 4 {
+		c.Read(0, off)
+	}
+	c.Flush()
+	if cost := c.Read(0, 0); cost != timing.Default().CacheLineFill {
+		t.Fatal("flush left lines valid")
+	}
+}
+
+func TestFramesDoNotAlias(t *testing.T) {
+	c := New(Config{SizeWords: 1 << 14, LineWords: 4}, timing.Default())
+	c.Read(1, 0)
+	if cost := c.Read(2, 0); cost != timing.Default().CacheLineFill {
+		t.Fatal("different frames aliased to the same tag")
+	}
+}
+
+func TestHitRatioProperty(t *testing.T) {
+	// Property: reading any address twice in a row always hits the
+	// second time, for arbitrary frame/offset.
+	c := New(Config{SizeWords: 256, LineWords: 4}, timing.Default())
+	f := func(frame uint8, off uint16) bool {
+		p := memory.PPage(frame)
+		o := uint32(off)
+		c.Read(p, o)
+		return c.Read(p, o) == timing.Default().CacheHit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	c := New(Config{}, timing.Default())
+	if len(c.lines) != 8192/4 {
+		t.Fatalf("default cache has %d lines", len(c.lines))
+	}
+}
+
+func TestHitRatioMath(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1}
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("hit ratio %f", s.HitRatio())
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("empty stats hit ratio nonzero")
+	}
+}

@@ -1,0 +1,645 @@
+// Package coherence implements the PLUS memory-coherence manager: the
+// per-node hardware module (Xilinx PLDs in the 1990 implementation)
+// that performs global memory mapping, the non-demand write-update
+// coherence protocol over replicated pages, and the delayed
+// (split-transaction) read-modify-write operations.
+//
+// Protocol summary (§2.3 of the paper):
+//
+//   - Writes are always performed first on the master copy and then
+//     propagated down the ordered copy-list; the last copy returns an
+//     acknowledgement to the originating processor. Copies of a given
+//     location are therefore always written in the same order
+//     (general coherence).
+//   - Writes do not block the issuing processor; the pending-writes
+//     cache (8 entries) remembers incomplete writes. The processor
+//     blocks on a 9th outstanding write, on reading a location with a
+//     pending write, and on an explicit fence.
+//   - Delayed operations are issued to the master copy, executed there
+//     atomically, and the old value returns to the originator's
+//     delayed-operations cache (8 entries); modifications propagate
+//     down the copy-list like writes.
+package coherence
+
+import (
+	"fmt"
+
+	"plus/internal/cache"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/sim"
+	"plus/internal/stats"
+	"plus/internal/timing"
+)
+
+// CM is one node's memory-coherence manager. It is driven entirely
+// from the simulation engine's single logical thread: processor-side
+// calls happen inside a coroutine slice, network messages arrive as
+// engine events. Completion callbacks may fire synchronously (when the
+// operation completes without waiting) or from a later engine event.
+type CM struct {
+	self mesh.NodeID
+	eng  *sim.Engine
+	net  *mesh.Mesh
+	mem  *memory.Memory
+	ca   *cache.Cache
+	tm   timing.Timing
+	st   *stats.Machine
+
+	// master maps each locally present frame to the global address of
+	// the page's master copy. Maintained by the operating system
+	// (kernel package); consulted by the write/RMW routing hardware.
+	master map[memory.PPage]memory.GPage
+	// next maps each locally present frame to its successor on the
+	// copy-list, or NilGPage at the end of the list.
+	next map[memory.PPage]memory.GPage
+
+	// Pending-writes cache.
+	pending      map[uint64]GAddr
+	pendingAddrs map[GAddr]int
+	nextID       uint64
+	writeWaiters []func()
+	fenceWaiters []func()
+	readRetry    map[GAddr][]func()
+
+	// Delayed-operations cache.
+	slots       []dslot
+	slotWaiters []func()
+
+	// Outstanding remote blocking reads.
+	readWaiters map[uint64]func(memory.Word)
+
+	// Write-invalidate ablation mode (see invalidate.go). Real PLUS is
+	// write-update; this exists to measure the §2.2 claim.
+	invalidateMode bool
+	invalid        map[memory.PPage]map[uint32]bool
+}
+
+type dslot struct {
+	busy   bool
+	ready  bool
+	val    memory.Word
+	waiter func(memory.Word)
+}
+
+// New wires a coherence manager to its node's memory, cache and the
+// mesh. It attaches itself as the node's message handler.
+func New(self mesh.NodeID, eng *sim.Engine, net *mesh.Mesh, mem *memory.Memory, ca *cache.Cache, tm timing.Timing, st *stats.Machine) *CM {
+	cm := &CM{
+		self:         self,
+		eng:          eng,
+		net:          net,
+		mem:          mem,
+		ca:           ca,
+		tm:           tm,
+		st:           st,
+		master:       make(map[memory.PPage]memory.GPage),
+		next:         make(map[memory.PPage]memory.GPage),
+		pending:      make(map[uint64]GAddr),
+		pendingAddrs: make(map[GAddr]int),
+		nextID:       1,
+		readRetry:    make(map[GAddr][]func()),
+		slots:        make([]dslot, tm.MaxDelayedOps),
+		readWaiters:  make(map[uint64]func(memory.Word)),
+	}
+	net.Attach(self, cm.handle)
+	return cm
+}
+
+// Self returns the node this CM serves.
+func (cm *CM) Self() mesh.NodeID { return cm.self }
+
+// node returns this node's stats block.
+func (cm *CM) node() *stats.Node { return &cm.st.Nodes[cm.self] }
+
+// --- Kernel-side table maintenance -----------------------------------
+
+// InstallPage registers a locally present frame with its master and
+// successor, making the replication structure visible to the hardware
+// via the master and next-copy tables (§2.3).
+func (cm *CM) InstallPage(frame memory.PPage, master, next memory.GPage) {
+	cm.master[frame] = master
+	cm.next[frame] = next
+}
+
+// SetNext rewrites the successor of a local frame (copy-list splice).
+func (cm *CM) SetNext(frame memory.PPage, next memory.GPage) {
+	if _, ok := cm.next[frame]; !ok {
+		panic(fmt.Sprintf("coherence: SetNext of uninstalled frame %d on node %d", frame, cm.self))
+	}
+	cm.next[frame] = next
+}
+
+// SetMaster rewrites the master pointer of a local frame (used when
+// the master migrates).
+func (cm *CM) SetMaster(frame memory.PPage, master memory.GPage) {
+	if _, ok := cm.master[frame]; !ok {
+		panic(fmt.Sprintf("coherence: SetMaster of uninstalled frame %d on node %d", frame, cm.self))
+	}
+	cm.master[frame] = master
+}
+
+// DropPage removes a frame's coherence tables (copy deletion).
+func (cm *CM) DropPage(frame memory.PPage) {
+	delete(cm.master, frame)
+	delete(cm.next, frame)
+}
+
+// Master returns the master pointer for a local frame.
+func (cm *CM) Master(frame memory.PPage) (memory.GPage, bool) {
+	g, ok := cm.master[frame]
+	return g, ok
+}
+
+// Next returns the copy-list successor for a local frame.
+func (cm *CM) Next(frame memory.PPage) (memory.GPage, bool) {
+	g, ok := cm.next[frame]
+	return g, ok
+}
+
+// PendingCount returns the number of incomplete writes (pending-writes
+// cache occupancy).
+func (cm *CM) PendingCount() int { return len(cm.pending) }
+
+// BusySlots returns the number of delayed-operation cache entries in
+// use.
+func (cm *CM) BusySlots() int {
+	n := 0
+	for i := range cm.slots {
+		if cm.slots[i].busy {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Processor-side operations ---------------------------------------
+
+// Read performs a (possibly blocking) read. done receives the value;
+// completion is always delivered through an engine event, never
+// synchronously, so the calling coroutine can park unconditionally
+// after issuing.
+func (cm *CM) Read(g GAddr, done func(memory.Word)) {
+	cm.startRead(g, done)
+}
+
+func (cm *CM) startRead(g GAddr, done func(memory.Word)) {
+	// Reading a location that is currently being written blocks until
+	// the write completes (intra-processor strong ordering, §2.3).
+	if cm.pendingAddrs[g] > 0 {
+		cm.readRetry[g] = append(cm.readRetry[g], func() { cm.startRead(g, done) })
+		return
+	}
+	if g.Node == cm.self {
+		if cm.invalidateMode && cm.isInvalid(g.Page, g.Off) {
+			cm.readInvalidated(g, done)
+			return
+		}
+		cost := cm.ca.Read(g.Page, g.Off)
+		v := cm.mem.Read(g.Page, g.Off)
+		cm.node().LocalReads++
+		if cost <= cm.tm.CacheHit {
+			cm.node().CacheHits++
+		} else {
+			cm.node().CacheMisses++
+		}
+		cm.eng.Schedule(cost, func() { done(v) })
+		return
+	}
+	cm.node().RemoteReads++
+	cm.st.Emit(int(cm.self), "read", "remote %v", g)
+	id := cm.nextID
+	cm.nextID++
+	cm.readWaiters[id] = done
+	// The paper charges "about 32 cycles plus the round-trip delay"
+	// for a remote blocking read; the 32 cycles are the processor and
+	// interface overhead, charged here before the request enters the
+	// network. The serving CM adds its processing time on arrival.
+	cm.eng.Schedule(cm.tm.RemoteReadOverhead, func() {
+		cm.send(g.Node, &msg{kind: kReadReq, origin: cm.self, id: id, page: g.Page, off: g.Off})
+	})
+}
+
+// Write issues a non-blocking write. accepted is called as soon as a
+// pending-writes cache entry is allocated — synchronously when one is
+// free, otherwise from a later event once an earlier write completes.
+// The write then propagates in the background; completion is visible
+// through Fence, PendingCount, and the read-blocking rule.
+func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
+	if len(cm.pending) >= cm.tm.MaxPendingWrites {
+		cm.writeWaiters = append(cm.writeWaiters, func() { cm.Write(g, v, accepted) })
+		return
+	}
+	id := cm.allocPending(g)
+	accepted()
+	cm.st.Emit(int(cm.self), "write", "%v <- %#x (pending %d)", g, v, id)
+	if g.Node == cm.self {
+		// A write counts as local only when it completes entirely in
+		// local memory: the master copy is here and the page has no
+		// other copies to update. Writes to replicated pages generate
+		// network traffic however they are issued, which is what the
+		// paper's Table 2-1 write ratio measures.
+		if cm.completesLocally(g.Page) {
+			cm.node().LocalWrites++
+		} else {
+			cm.node().RemoteWrites++
+		}
+		cm.arriveWrite(g.Page, g.Off, v, cm.self, id)
+		return
+	}
+	cm.node().RemoteWrites++
+	cm.send(g.Node, &msg{kind: kWriteReq, origin: cm.self, id: id, page: g.Page, off: g.Off, val: v})
+}
+
+// Fence blocks until every earlier write by this node has completed
+// (the pending-writes cache is empty). done may be invoked
+// synchronously when there is nothing outstanding.
+func (cm *CM) Fence(done func()) {
+	cm.node().Fences++
+	if len(cm.pending) == 0 {
+		done()
+		return
+	}
+	cm.fenceWaiters = append(cm.fenceWaiters, done)
+}
+
+// RMW issues a delayed operation. issued is called (synchronously when
+// resources are free) once a delayed-operations cache slot — and, for
+// mutating ops, a pending-writes entry — has been allocated; the slot
+// index it receives is the operation identifier the program later
+// passes to Verify. The paper's cost anatomy: the ~25-cycle issue time
+// is charged by the processor layer, the master's 39/52-cycle
+// execution by this package, the ~10-cycle result read at Verify.
+func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
+	slot := cm.freeSlot()
+	if slot < 0 {
+		cm.slotWaiters = append(cm.slotWaiters, func() { cm.RMW(op, g, operand, issued) })
+		return
+	}
+	var pid uint64
+	if !op.IsRead() {
+		if len(cm.pending) >= cm.tm.MaxPendingWrites {
+			cm.writeWaiters = append(cm.writeWaiters, func() { cm.RMW(op, g, operand, issued) })
+			return
+		}
+		pid = cm.allocPending(g)
+	}
+	cm.slots[slot] = dslot{busy: true}
+	cm.node().RMWIssued++
+	// Local/remote accounting mirrors writes: a mutating RMW is local
+	// only when it completes entirely in local memory. Delayed-read
+	// counts as a read, local when the master is here.
+	n := cm.node()
+	if op.IsRead() {
+		if g.Node == cm.self {
+			if m, ok := cm.master[g.Page]; ok && m.Node == cm.self {
+				n.LocalReads++
+			} else {
+				n.RemoteReads++
+			}
+		} else {
+			n.RemoteReads++
+		}
+	} else if g.Node == cm.self && cm.completesLocally(g.Page) {
+		n.LocalWrites++
+	} else {
+		n.RemoteWrites++
+	}
+	issued(slot)
+	cm.st.Emit(int(cm.self), "rmw", "%v %v operand=%#x slot=%d", op, g, operand, slot)
+	if g.Node == cm.self {
+		cm.arriveRMW(op, g.Page, g.Off, operand, cm.self, uint64(slot), pid)
+		return
+	}
+	cm.send(g.Node, &msg{kind: kRMWReq, origin: cm.self, id: uint64(slot), pid: pid, op: op, page: g.Page, off: g.Off, val: operand})
+}
+
+// Verify retrieves a delayed operation's result, blocking until it is
+// available. The slot is freed when the result is consumed. done may
+// fire synchronously if the result has already arrived.
+func (cm *CM) Verify(slot int, done func(memory.Word)) {
+	s := &cm.slots[slot]
+	if !s.busy {
+		panic(fmt.Sprintf("coherence: Verify of free slot %d on node %d", slot, cm.self))
+	}
+	if s.ready {
+		v := s.val
+		cm.releaseSlot(slot)
+		done(v)
+		return
+	}
+	if s.waiter != nil {
+		panic(fmt.Sprintf("coherence: second Verify of slot %d on node %d", slot, cm.self))
+	}
+	s.waiter = done
+}
+
+// TryVerify inspects a delayed-operation slot without blocking: if the
+// result has arrived it is returned (and the slot freed); otherwise
+// ok is false. The paper notes software can inspect the status of
+// delayed-operation cache locations to implement non-blocking reads.
+func (cm *CM) TryVerify(slot int) (memory.Word, bool) {
+	s := &cm.slots[slot]
+	if !s.busy || !s.ready {
+		return 0, false
+	}
+	v := s.val
+	cm.releaseSlot(slot)
+	return v, true
+}
+
+// PageCopy snapshots local frame src and ships it to dst, whose CM
+// installs it and then invokes done. Used by the kernel's replication
+// path after the new copy has been linked into the copy-list, so
+// concurrent writes flow through the new copy while the bulk data is
+// in flight; FIFO delivery per source-destination pair makes the
+// result coherent (§2.4).
+func (cm *CM) PageCopy(src memory.PPage, dst memory.GPage, done func()) {
+	if dst.Node == cm.self {
+		panic("coherence: PageCopy to self")
+	}
+	data := make([]memory.Word, memory.PageWords)
+	copy(data, cm.mem.Page(src))
+	cm.send(dst.Node, &msg{kind: kPageCopy, origin: cm.self, page: dst.Page, data: data, done: done})
+}
+
+// --- Internal machinery ------------------------------------------------
+
+// completesLocally reports whether a write to the given local frame
+// finishes without any network traffic: master here and no copy-list
+// successor.
+func (cm *CM) completesLocally(frame memory.PPage) bool {
+	m, ok := cm.master[frame]
+	if !ok || m.Node != cm.self {
+		return false
+	}
+	nxt, ok := cm.next[frame]
+	return ok && nxt.IsNil()
+}
+
+func (cm *CM) allocPending(g GAddr) uint64 {
+	id := cm.nextID
+	cm.nextID++
+	cm.pending[id] = g
+	cm.pendingAddrs[g]++
+	return id
+}
+
+func (cm *CM) freeSlot() int {
+	for i := range cm.slots {
+		if !cm.slots[i].busy {
+			return i
+		}
+	}
+	return -1
+}
+
+func (cm *CM) releaseSlot(slot int) {
+	cm.slots[slot] = dslot{}
+	if len(cm.slotWaiters) > 0 {
+		w := cm.slotWaiters[0]
+		cm.slotWaiters = cm.slotWaiters[1:]
+		w()
+	}
+}
+
+// finishWrite retires a pending-writes entry and wakes whoever the
+// retirement unblocks: readers of that address, one writer waiting for
+// a free entry, and — when the cache drains — fence waiters.
+func (cm *CM) finishWrite(id uint64) {
+	g, ok := cm.pending[id]
+	if !ok {
+		panic(fmt.Sprintf("coherence: ack for unknown write %d on node %d", id, cm.self))
+	}
+	delete(cm.pending, id)
+	if cm.pendingAddrs[g]--; cm.pendingAddrs[g] == 0 {
+		delete(cm.pendingAddrs, g)
+		if rs := cm.readRetry[g]; len(rs) > 0 {
+			delete(cm.readRetry, g)
+			for _, r := range rs {
+				r()
+			}
+		}
+	}
+	if len(cm.writeWaiters) > 0 {
+		w := cm.writeWaiters[0]
+		cm.writeWaiters = cm.writeWaiters[1:]
+		w()
+	}
+	if len(cm.pending) == 0 && len(cm.fenceWaiters) > 0 {
+		ws := cm.fenceWaiters
+		cm.fenceWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// complete delivers a write/RMW completion to its originator.
+func (cm *CM) complete(origin mesh.NodeID, id uint64) {
+	if id == 0 {
+		return // operation carried no pending-writes entry
+	}
+	if origin == cm.self {
+		cm.finishWrite(id)
+		return
+	}
+	cm.send(origin, &msg{kind: kAck, origin: origin, id: id})
+}
+
+// applyWrites performs committed word writes on a local frame and
+// keeps the processor cache coherent via the bus snooping protocol.
+func (cm *CM) applyWrites(frame memory.PPage, ws []wordWrite) {
+	for _, w := range ws {
+		cm.mem.Write(frame, w.Off, w.Val)
+		cm.ca.Snoop(frame, w.Off)
+	}
+}
+
+// arriveWrite handles a write that has reached this node (from the
+// local processor or the network): perform it here if this node holds
+// the master copy, otherwise forward it to the master.
+func (cm *CM) arriveWrite(frame memory.PPage, off uint32, v memory.Word, origin mesh.NodeID, id uint64) {
+	m, ok := cm.master[frame]
+	if !ok {
+		panic(fmt.Sprintf("coherence: write to uninstalled frame %d on node %d", frame, cm.self))
+	}
+	if m.Node != cm.self {
+		cm.send(m.Node, &msg{kind: kWriteReq, origin: origin, id: id, page: m.Page, off: off, val: v})
+		return
+	}
+	ws := []wordWrite{{off, v}}
+	cm.applyWrites(m.Page, ws)
+	cm.propagate(m.Page, ws, origin, id)
+}
+
+// propagate continues a committed modification down the copy-list, or
+// completes the operation if this copy is the last.
+func (cm *CM) propagate(frame memory.PPage, ws []wordWrite, origin mesh.NodeID, id uint64) {
+	nxt, ok := cm.next[frame]
+	if !ok {
+		panic(fmt.Sprintf("coherence: no next-copy entry for frame %d on node %d", frame, cm.self))
+	}
+	if nxt.IsNil() {
+		cm.complete(origin, id)
+		return
+	}
+	cm.send(nxt.Node, &msg{kind: kUpdate, origin: origin, id: id, page: nxt.Page, writes: ws})
+}
+
+// arriveRMW handles a delayed operation that has reached this node:
+// execute if master is local, else forward toward the master. slotID
+// identifies the originator's delayed-op cache slot; pid its
+// pending-writes entry (0 for delayed-read).
+func (cm *CM) arriveRMW(op Op, frame memory.PPage, off uint32, operand memory.Word, origin mesh.NodeID, slotID, pid uint64) {
+	m, ok := cm.master[frame]
+	if !ok {
+		panic(fmt.Sprintf("coherence: RMW to uninstalled frame %d on node %d", frame, cm.self))
+	}
+	if m.Node != cm.self {
+		cm.send(m.Node, &msg{kind: kRMWReq, origin: origin, id: slotID, pid: pid, op: op, page: m.Page, off: off, val: operand})
+		return
+	}
+	// Master local: execute atomically after the documented execution
+	// time (Table 3-1: 39 or 52 cycles).
+	cm.eng.Schedule(op.ExecCycles(cm.tm), func() {
+		result, ws := exec(op, cm.mem.Page(m.Page), off, operand, cm.tm.MaxQueueSize)
+		for _, w := range ws {
+			cm.ca.Snoop(m.Page, w.Off)
+		}
+		cm.node().RMWExecuted++
+		nxt := cm.next[m.Page]
+		// The reply completes the operation outright when nothing needs
+		// propagating (no modification, or the master is the only copy).
+		complete := len(ws) == 0 || nxt.IsNil()
+		cm.deliverRMWReply(origin, slotID, pid, result, complete)
+		if len(ws) > 0 && !nxt.IsNil() {
+			cm.send(nxt.Node, &msg{kind: kUpdate, origin: origin, id: pid, page: nxt.Page, writes: ws})
+		}
+	})
+}
+
+func (cm *CM) deliverRMWReply(origin mesh.NodeID, slotID, pid uint64, result memory.Word, complete bool) {
+	if origin == cm.self {
+		cm.fillSlot(int(slotID), result)
+		if complete {
+			cm.complete(origin, pid)
+		}
+		return
+	}
+	cm.send(origin, &msg{kind: kRMWReply, origin: origin, id: slotID, pid: pid, val: result, complete: complete})
+}
+
+// fillSlot stores a delayed operation's result and hands it to a
+// waiting Verify, if any.
+func (cm *CM) fillSlot(slot int, v memory.Word) {
+	s := &cm.slots[slot]
+	if !s.busy {
+		panic(fmt.Sprintf("coherence: result for free slot %d on node %d", slot, cm.self))
+	}
+	if w := s.waiter; w != nil {
+		cm.releaseSlot(slot)
+		w(v)
+		return
+	}
+	s.ready = true
+	s.val = v
+}
+
+// send routes a protocol message over the mesh, counting it by type.
+func (cm *CM) send(dst mesh.NodeID, m *msg) {
+	if dst == cm.self {
+		panic(fmt.Sprintf("coherence: self-send of kind %d on node %d", m.kind, cm.self))
+	}
+	switch m.kind {
+	case kReadReq:
+		cm.st.MsgRead++
+	case kReadReply:
+		cm.st.MsgReadRep++
+	case kWriteReq:
+		cm.st.MsgWrite++
+	case kUpdate:
+		cm.st.MsgUpdate++
+	case kAck:
+		cm.st.MsgAck++
+	case kRMWReq:
+		cm.st.MsgRMW++
+	case kRMWReply:
+		cm.st.MsgRMWRep++
+	case kPageCopy:
+		cm.st.MsgPage++
+	}
+	cm.net.Send(cm.self, dst, m.flits(), m)
+}
+
+// handle is the mesh delivery hook: protocol messages arriving at this
+// node. Each incurs the CM's per-hop processing time before acting,
+// except acks and replies, whose handling cost is folded into the
+// originator-side constants.
+func (cm *CM) handle(payload interface{}) {
+	m := payload.(*msg)
+	switch m.kind {
+	case kReadReq:
+		cm.eng.Schedule(cm.tm.CMProcess, func() {
+			if cm.invalidateMode && cm.isInvalid(m.page, m.off) {
+				// Stale replica word: forward the request to the master
+				// rather than serving old data.
+				if mg, ok := cm.master[m.page]; ok && mg.Node != cm.self {
+					cm.send(mg.Node, &msg{kind: kReadReq, origin: m.origin, id: m.id, page: mg.Page, off: m.off})
+					return
+				}
+			}
+			v := cm.mem.Read(m.page, m.off)
+			cm.send(m.origin, &msg{kind: kReadReply, origin: m.origin, id: m.id, val: v})
+		})
+	case kReadReply:
+		done, ok := cm.readWaiters[m.id]
+		if !ok {
+			panic(fmt.Sprintf("coherence: read reply for unknown id %d on node %d", m.id, cm.self))
+		}
+		delete(cm.readWaiters, m.id)
+		done(m.val)
+	case kWriteReq:
+		cm.eng.Schedule(cm.tm.CMProcess, func() {
+			cm.arriveWrite(m.page, m.off, m.val, m.origin, m.id)
+		})
+	case kUpdate:
+		cm.eng.Schedule(cm.tm.CMProcess, func() {
+			cm.st.Emit(int(cm.self), "update", "frame %d, %d word(s) from n%d", m.page, len(m.writes), m.origin)
+			if cm.invalidateMode {
+				cm.applyInvalidations(m.page, m.writes)
+			} else {
+				cm.applyWrites(m.page, m.writes)
+			}
+			cm.node().Updates++
+			cm.propagate(m.page, m.writes, m.origin, m.id)
+		})
+	case kAck:
+		cm.st.Emit(int(cm.self), "ack", "write %d complete", m.id)
+		cm.finishWrite(m.id)
+	case kRMWReq:
+		cm.eng.Schedule(cm.tm.CMProcess, func() {
+			cm.arriveRMW(m.op, m.page, m.off, m.val, m.origin, m.id, m.pid)
+		})
+	case kRMWReply:
+		cm.fillSlot(int(m.id), m.val)
+		if m.complete {
+			cm.complete(cm.self, m.pid)
+		}
+	case kPageCopy:
+		// Install the snapshot immediately: delivery is FIFO with the
+		// updates the predecessor forwards after the snapshot, so
+		// applying in arrival order keeps the new copy coherent while
+		// writes overlap the copy (§2.4). The copy engine's word time
+		// delays only the completion signal (mapping switch).
+		copy(cm.mem.Page(m.page), m.data)
+		cm.node().PagesCopied++
+		cm.eng.Schedule(sim.Cycles(memory.PageWords)*cm.tm.PageCopyPerWord, func() {
+			if m.done != nil {
+				m.done()
+			}
+		})
+	default:
+		panic(fmt.Sprintf("coherence: unknown message kind %d", m.kind))
+	}
+}

@@ -1,0 +1,31 @@
+package coherence
+
+import (
+	"fmt"
+
+	"plus/internal/memory"
+	"plus/internal/mesh"
+)
+
+// GAddr is a word-grained global physical address: the <node-id,
+// page-id> pair produced directly by the processor's memory-mapping
+// hardware (§2.3), plus the word offset within the page.
+type GAddr struct {
+	Node mesh.NodeID
+	Page memory.PPage
+	Off  uint32
+}
+
+// At builds a GAddr for word off of global page g.
+func At(g memory.GPage, off uint32) GAddr {
+	return GAddr{Node: g.Node, Page: g.Page, Off: off & memory.OffMask}
+}
+
+// GPage returns the page component of the address.
+func (g GAddr) GPage() memory.GPage {
+	return memory.GPage{Node: g.Node, Page: g.Page}
+}
+
+func (g GAddr) String() string {
+	return fmt.Sprintf("gaddr(n%d:p%d+%d)", g.Node, g.Page, g.Off)
+}

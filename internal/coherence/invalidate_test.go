@@ -1,0 +1,173 @@
+package coherence
+
+import (
+	"testing"
+
+	"plus/internal/memory"
+	"plus/internal/mesh"
+)
+
+// invRig builds a rig with every CM in write-invalidate mode.
+func invRig(t *testing.T, w, h int) *rig {
+	r := newRig(t, w, h)
+	for _, cm := range r.cms {
+		cm.SetInvalidateMode(true)
+	}
+	return r
+}
+
+func TestInvalidateMarksReplicaStale(t *testing.T) {
+	r := invRig(t, 4, 1)
+	frames := r.page(0, 2)
+	r.cms[0].Write(GAddr{0, frames[0], 5}, 42, func() {})
+	r.eng.Run()
+	// Master has the data; the replica word is stale and marked.
+	if r.mems[0].Read(frames[0], 5) != 42 {
+		t.Fatal("master not written")
+	}
+	if !r.cms[2].isInvalid(frames[2], 5) {
+		t.Fatal("replica word not invalidated")
+	}
+	if r.st.Nodes[2].Invalidations != 1 {
+		t.Fatalf("invalidations = %d", r.st.Nodes[2].Invalidations)
+	}
+	// The ack chain still completed the write.
+	if r.cms[0].PendingCount() != 0 {
+		t.Fatal("write never acked")
+	}
+}
+
+func TestInvalidatedReadRefetchesFromMaster(t *testing.T) {
+	r := invRig(t, 4, 1)
+	frames := r.page(0, 2)
+	r.cms[0].Write(GAddr{0, frames[0], 5}, 42, func() {})
+	r.eng.Run()
+	var got memory.Word
+	r.cms[2].Read(GAddr{2, frames[2], 5}, func(v memory.Word) { got = v })
+	r.eng.Run()
+	if got != 42 {
+		t.Fatalf("stale read returned %d", got)
+	}
+	// The replica is repaired: the next read is local and fresh.
+	if r.cms[2].isInvalid(frames[2], 5) {
+		t.Fatal("replica not repaired after re-fetch")
+	}
+	if r.mems[2].Read(frames[2], 5) != 42 {
+		t.Fatal("repair did not write the replica")
+	}
+	if r.st.Nodes[2].InvalidateMisses != 1 {
+		t.Fatalf("invalidate misses = %d", r.st.Nodes[2].InvalidateMisses)
+	}
+	before := r.st.Nodes[2].LocalReads
+	r.cms[2].Read(GAddr{2, frames[2], 5}, func(v memory.Word) { got = v })
+	r.eng.Run()
+	if got != 42 || r.st.Nodes[2].LocalReads != before+1 {
+		t.Fatal("repaired word not served locally")
+	}
+}
+
+func TestInvalidateRMWPropagates(t *testing.T) {
+	r := invRig(t, 4, 1)
+	frames := r.page(1, 3)
+	var slot int
+	r.cms[0].RMW(OpFadd, GAddr{1, frames[1], 0}, 7, func(s int) { slot = s })
+	r.eng.Run()
+	if _, ok := r.cms[0].TryVerify(slot); !ok {
+		t.Fatal("no RMW result")
+	}
+	if r.mems[1].Read(frames[1], 0) != 7 {
+		t.Fatal("master not updated")
+	}
+	if !r.cms[3].isInvalid(frames[3], 0) {
+		t.Fatal("replica not invalidated by RMW")
+	}
+	// A read through the replica still sees the fresh value.
+	var got memory.Word
+	r.cms[3].Read(GAddr{3, frames[3], 0}, func(v memory.Word) { got = v })
+	r.eng.Run()
+	if got != 7 {
+		t.Fatalf("replica read after RMW = %d", got)
+	}
+}
+
+func TestRemoteReadOfStaleReplicaForwardsToMaster(t *testing.T) {
+	// Node 3 (no copy) reads via node 2's replica while that word is
+	// stale: the request must chase the master, not serve old data.
+	r := invRig(t, 4, 1)
+	frames := r.page(0, 2)
+	r.cms[0].Write(GAddr{0, frames[0], 1}, 9, func() {})
+	r.eng.Run()
+	var got memory.Word
+	r.cms[3].Read(GAddr{2, frames[2], 1}, func(v memory.Word) { got = v })
+	r.eng.Run()
+	if got != 9 {
+		t.Fatalf("forwarded stale read = %d, want 9", got)
+	}
+}
+
+func TestUpdateModeDoesNotInvalidate(t *testing.T) {
+	r := newRig(t, 4, 1) // default: write-update
+	frames := r.page(0, 2)
+	r.cms[0].Write(GAddr{0, frames[0], 5}, 42, func() {})
+	r.eng.Run()
+	if r.cms[2].isInvalid(frames[2], 5) {
+		t.Fatal("update mode marked a word invalid")
+	}
+	if r.mems[2].Read(frames[2], 5) != 42 {
+		t.Fatal("update mode did not carry data")
+	}
+	if r.st.Totals().Invalidations != 0 {
+		t.Fatal("invalidation counter moved in update mode")
+	}
+}
+
+func TestInvalidateReadHeavySlowerThanUpdate(t *testing.T) {
+	// The §2.2 claim, at protocol level: with a replica that is read
+	// after every remote write, invalidation forces a refetch per
+	// write while update delivers the data for free.
+	countRefetches := func(invalidate bool) uint64 {
+		r := newRig(t, 2, 1)
+		if invalidate {
+			for _, cm := range r.cms {
+				cm.SetInvalidateMode(true)
+			}
+		}
+		frames := r.page(0, 1)
+		for i := 0; i < 20; i++ {
+			r.cms[0].Write(GAddr{0, frames[0], 3}, memory.Word(i), func() {})
+			r.eng.Run()
+			r.cms[1].Read(GAddr{1, frames[1], 3}, func(memory.Word) {})
+			r.eng.Run()
+		}
+		return r.st.Nodes[1].RemoteReads
+	}
+	if n := countRefetches(false); n != 0 {
+		t.Fatalf("update mode caused %d refetches", n)
+	}
+	if n := countRefetches(true); n != 20 {
+		t.Fatalf("invalidate mode caused %d refetches, want 20", n)
+	}
+}
+
+func TestInvalidateGeneralCoherenceThroughMaster(t *testing.T) {
+	// Concurrent writers through different entry points; after
+	// quiescence every replica read (which consults staleness) yields
+	// the master's value.
+	r := invRig(t, 4, 1)
+	frames := r.page(1, 0, 3)
+	for i := 0; i < 10; i++ {
+		r.cms[0].Write(GAddr{0, frames[0], 4}, memory.Word(100+i), func() {})
+		r.cms[3].Write(GAddr{3, frames[3], 4}, memory.Word(1000+i), func() {})
+	}
+	r.eng.Run()
+	want := r.mems[1].Read(frames[1], 4) // master value
+	for _, n := range []mesh.NodeID{0, 3} {
+		n := n
+		var got memory.Word
+		r.cms[n].Read(GAddr{n, frames[n], 4}, func(v memory.Word) { got = v })
+		r.eng.Run()
+		if got != want {
+			t.Fatalf("node %d read %d, master has %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package coherence
+
+import (
+	"plus/internal/memory"
+	"plus/internal/mesh"
+)
+
+// kind enumerates the coherence-protocol message types carried by the
+// mesh.
+type kind int
+
+const (
+	// kReadReq asks the addressed node to read a word of its copy.
+	kReadReq kind = iota
+	// kReadReply returns the word to the requesting processor.
+	kReadReply
+	// kWriteReq carries a write toward the master copy. The addressed
+	// node performs it if it holds the master, else forwards it.
+	kWriteReq
+	// kUpdate propagates committed word writes down the copy-list.
+	kUpdate
+	// kAck is the completion acknowledgement sent by the last copy in
+	// the copy-list to the originating processor's coherence manager.
+	kAck
+	// kRMWReq carries a delayed operation toward the master copy.
+	kRMWReq
+	// kRMWReply returns the old memory contents from the master to the
+	// originator's delayed-operations cache.
+	kRMWReply
+	// kPageCopy carries a whole-page snapshot from a copy-list
+	// predecessor to a newly linked replica.
+	kPageCopy
+)
+
+// msg is the wire format of the coherence protocol. Fields are used
+// per kind; unused fields are zero.
+type msg struct {
+	kind   kind
+	origin mesh.NodeID // requesting node, for replies and acks
+	id     uint64      // origin-local request identifier
+	pid    uint64      // pending-writes entry for RMWs (0 = none)
+	page   memory.PPage
+	off    uint32
+	val    memory.Word // data word or RMW operand
+	op     Op
+	writes []wordWrite   // kUpdate payload
+	data   []memory.Word // kPageCopy payload
+	done   func()        // kPageCopy completion hook (simulation-side)
+	// complete marks a kRMWReply that also completes the operation
+	// (the master was the only/last copy, so no separate ack follows).
+	complete bool
+}
+
+// flits returns the message size in link flits (one flit = one 32-bit
+// word plus routing overhead folded into the base latency).
+func (m *msg) flits() int {
+	switch m.kind {
+	case kReadReq:
+		return 2 // address
+	case kReadReply:
+		return 2 // id + data
+	case kWriteReq:
+		return 3 // address + data
+	case kUpdate:
+		return 2 + 2*len(m.writes)
+	case kAck:
+		return 1
+	case kRMWReq:
+		return 3 // address + operand (+ op encoded in header)
+	case kRMWReply:
+		return 2
+	case kPageCopy:
+		return 2 + len(m.data)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/proc"
+	"plus/internal/sim"
+)
+
+// TestProtocolFuzz drives random mixes of reads, writes, RMWs and
+// fences from every node against a randomly replicated page set, then
+// checks the machine-wide invariants:
+//
+//   - general coherence: after quiescence all copies are identical
+//     (Machine.Run checks this);
+//   - fetch-and-add conservation: each counter word equals the sum of
+//     the deltas applied to it;
+//   - read-your-write: a read after a fence observes the thread's own
+//     latest write.
+func TestProtocolFuzz(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewMachine(DefaultConfig(4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const pages = 4
+		bases := make([]memory.VAddr, pages)
+		for i := range bases {
+			home := mesh.NodeID(rng.Intn(8))
+			bases[i] = m.Alloc(home, 1)
+			// Random replication on 0..3 extra nodes.
+			for k := rng.Intn(4); k > 0; k-- {
+				m.Replicate(bases[i], mesh.NodeID(rng.Intn(8)))
+			}
+		}
+		// One counter word per page for fadd conservation.
+		deltaSums := make([]int64, pages)
+		for n := 0; n < 8; n++ {
+			tr := rand.New(rand.NewSource(seed*100 + int64(n)))
+			n := n
+			m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+				lastWrite := make(map[memory.VAddr]memory.Word)
+				// Each thread writes only its private offset range
+				// [1+10n, 10+10n], so read-your-write after a fence is
+				// a sound check; reads and min-xchngs roam a shared
+				// range beyond every private window.
+				privOff := func() uint32 { return uint32(1 + 10*n + tr.Intn(10)) }
+				sharedOff := func() uint32 { return uint32(101 + tr.Intn(100)) }
+				for op := 0; op < 60; op++ {
+					pg := tr.Intn(pages)
+					switch tr.Intn(10) {
+					case 0, 1, 2:
+						th.Read(bases[pg] + memory.VAddr(sharedOff()))
+					case 3, 4, 5:
+						va := bases[pg] + memory.VAddr(privOff())
+						v := memory.Word(tr.Uint32()) &^ memory.TopBit
+						th.Write(va, v)
+						lastWrite[va] = v
+					case 6:
+						d := int32(tr.Intn(21) - 10)
+						th.Verify(th.Fadd(bases[pg], d))
+						deltaSums[pg] += int64(d)
+					case 7:
+						th.Verify(th.MinXchng(bases[pg]+memory.VAddr(sharedOff()), memory.Word(tr.Uint32()&0x7fffffff)))
+					case 8:
+						th.Fence()
+						// After the fence every one of our writes has
+						// completed at every copy; nobody else touches
+						// our private words, so any of them must read
+						// back exactly.
+						for wa, want := range lastWrite {
+							if got := th.Read(wa); got != want {
+								t.Errorf("seed %d node %d: read %#x, wrote %#x", seed, n, got, want)
+							}
+							break
+						}
+					default:
+						th.Compute(sim.Cycles(tr.Intn(200)))
+					}
+				}
+				th.Fence()
+			})
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for pg := range deltaSums {
+			got := int64(int32(m.Peek(bases[pg])))
+			if got != deltaSums[pg] {
+				t.Fatalf("seed %d: counter %d = %d, deltas sum to %d", seed, pg, got, deltaSums[pg])
+			}
+		}
+	}
+}
+
+// TestProtocolFuzzWithContention repeats the fuzz under the
+// link-contention model (FIFO per link must preserve coherence).
+func TestProtocolFuzzWithContention(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		cfg := DefaultConfig(4, 2)
+		cfg.NetContention = true
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := m.Alloc(0, 1)
+		m.Replicate(base, 3, 5, 7)
+		for n := 0; n < 8; n++ {
+			tr := rand.New(rand.NewSource(seed*7 + int64(n)))
+			m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+				for op := 0; op < 40; op++ {
+					va := base + memory.VAddr(tr.Intn(64))
+					if tr.Intn(2) == 0 {
+						th.Write(va, memory.Word(tr.Uint32()))
+					} else {
+						th.Read(va)
+					}
+				}
+				th.Fence()
+			})
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_ = rng
+	}
+}
+
+// TestProtocolFuzzInvalidateMode repeats the fuzz in the
+// write-invalidate ablation: the master must still hold the counters'
+// exact sums and reads must chase staleness correctly.
+func TestProtocolFuzzInvalidateMode(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := DefaultConfig(4, 1)
+		cfg.InvalidateMode = true
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr := m.Alloc(0, 1)
+		m.Replicate(ctr, 1, 2, 3)
+		var sum int64
+		for n := 0; n < 4; n++ {
+			tr := rand.New(rand.NewSource(seed*31 + int64(n)))
+			m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+				for op := 0; op < 30; op++ {
+					d := int32(tr.Intn(9) - 4)
+					th.Verify(th.Fadd(ctr, d))
+					sum += int64(d)
+					th.Read(ctr) // exercises the stale-read repair path
+				}
+			})
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := int64(int32(m.Peek(ctr))); got != sum {
+			t.Fatalf("seed %d: counter %d, deltas %d", seed, got, sum)
+		}
+	}
+}

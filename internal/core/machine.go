@@ -1,0 +1,275 @@
+// Package core assembles a complete simulated PLUS machine: the mesh,
+// one node per mesh position (processor + cache + local memory +
+// coherence manager + page table), the kernel, and the run loop.
+//
+// This is the package behind the public plus API; see the repository
+// root for the exported surface.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"plus/internal/cache"
+	"plus/internal/coherence"
+	"plus/internal/kernel"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/mmu"
+	"plus/internal/proc"
+	"plus/internal/sim"
+	"plus/internal/stats"
+	"plus/internal/timing"
+)
+
+// Config describes a machine. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// MeshWidth and MeshHeight give the node grid. The 1990 hardware
+	// targeted meshes of tens of nodes (e.g. 4x4).
+	MeshWidth, MeshHeight int
+	// Timing is the cycle-cost table.
+	Timing timing.Timing
+	// Cache sizes the per-processor cache.
+	Cache cache.Config
+	// NetContention enables the link-contention model (off in the
+	// paper's lightly loaded experiments).
+	NetContention bool
+	// Mode selects run-to-block (PLUS) or context switching.
+	Mode proc.Mode
+	// SwitchCost is the per-switch cost in SwitchOnSync mode
+	// (Figure 3-1 sweeps 16, 40 and 140).
+	SwitchCost sim.Cycles
+	// CompetitiveThreshold enables competitive page replication after
+	// that many remote references from one node to one page (0 = off).
+	CompetitiveThreshold uint64
+	// FenceOnSync makes every delayed-operation issue an implicit full
+	// write fence first (the DASH-style alternative PLUS argues
+	// against); for the ablation benches.
+	FenceOnSync bool
+	// InvalidateMode replaces the write-update protocol with a
+	// word-granular write-invalidate protocol (the §2.2 alternative);
+	// for the ablation benches. Real PLUS is update-only.
+	InvalidateMode bool
+}
+
+// DefaultConfig returns a paper-calibrated machine on a w x h mesh.
+func DefaultConfig(w, h int) Config {
+	return Config{
+		MeshWidth:  w,
+		MeshHeight: h,
+		Timing:     timing.Default(),
+		Cache:      cache.DefaultConfig(),
+		Mode:       proc.RunToBlock,
+	}
+}
+
+// Machine is a complete simulated PLUS multiprocessor.
+type Machine struct {
+	cfg    Config
+	eng    *sim.Engine
+	net    *mesh.Mesh
+	st     *stats.Machine
+	mems   []*memory.Memory
+	caches []*cache.Cache
+	cms    []*coherence.CM
+	tables []*mmu.Table
+	kern   *kernel.Kernel
+	procs  []*proc.Proc
+
+	threads []*proc.Thread
+	nextTID int
+	ran     bool
+	started sim.Cycles
+	elapsed sim.Cycles
+}
+
+// NewMachine builds and wires a machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.MeshWidth < 1 || cfg.MeshHeight < 1 {
+		return nil, fmt.Errorf("core: invalid mesh %dx%d", cfg.MeshWidth, cfg.MeshHeight)
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == proc.SwitchOnSync && cfg.SwitchCost == 0 {
+		return nil, errors.New("core: SwitchOnSync mode requires a SwitchCost")
+	}
+	eng := sim.NewEngine()
+	mcfg := mesh.DefaultConfig(cfg.MeshWidth, cfg.MeshHeight)
+	mcfg.Contention = cfg.NetContention
+	net := mesh.New(eng, mcfg)
+	n := net.Nodes()
+	st := stats.New(n)
+	m := &Machine{cfg: cfg, eng: eng, net: net, st: st}
+	for i := 0; i < n; i++ {
+		mem := memory.New()
+		ca := cache.New(cfg.Cache, cfg.Timing)
+		cm := coherence.New(mesh.NodeID(i), eng, net, mem, ca, cfg.Timing, st)
+		cm.SetInvalidateMode(cfg.InvalidateMode)
+		m.mems = append(m.mems, mem)
+		m.caches = append(m.caches, ca)
+		m.cms = append(m.cms, cm)
+		m.tables = append(m.tables, mmu.New())
+	}
+	m.kern = kernel.New(eng, net, m.cms, m.mems, m.tables, cfg.Timing, st)
+	m.kern.SetCompetitiveThreshold(cfg.CompetitiveThreshold)
+	for i := 0; i < n; i++ {
+		p := proc.New(mesh.NodeID(i), eng, m.cms[i], m.kern,
+			m.tables[i], cfg.Timing, st, cfg.Mode, cfg.SwitchCost)
+		p.SetFenceOnSync(cfg.FenceOnSync)
+		m.procs = append(m.procs, p)
+	}
+	return m, nil
+}
+
+// Nodes returns the number of nodes (processors) in the machine.
+func (m *Machine) Nodes() int { return m.net.Nodes() }
+
+// Kernel exposes the operating-system services (placement,
+// replication, migration, coherence checking).
+func (m *Machine) Kernel() *kernel.Kernel { return m.kern }
+
+// Mesh exposes the interconnect (topology queries, network stats).
+func (m *Machine) Mesh() *mesh.Mesh { return m.net }
+
+// Stats returns the machine's instrumentation counters.
+func (m *Machine) Stats() *stats.Machine { return m.st }
+
+// EnableTrace starts recording protocol events (coherence messages,
+// memory operations, scheduling) up to limit entries; it returns the
+// tracer for inspection after Run. Tracing a window of a long run:
+// enable it from a scheduled point in application code.
+func (m *Machine) EnableTrace(limit int) *stats.Tracer {
+	tr := stats.NewTracer(limit, m.eng.Now)
+	m.st.AttachTracer(tr)
+	return tr
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() sim.Cycles { return m.eng.Now() }
+
+// Alloc allocates n consecutive virtual pages homed on node home and
+// returns the base virtual address.
+func (m *Machine) Alloc(home mesh.NodeID, n int) memory.VAddr {
+	return m.kern.AllocPages(home, n).Base()
+}
+
+// AllocHomed allocates len(homes) consecutive virtual pages with page
+// i homed on homes[i], returning the base virtual address. This is how
+// workloads lay out block-distributed arrays (each processor owning
+// the pages for its block).
+func (m *Machine) AllocHomed(homes ...mesh.NodeID) memory.VAddr {
+	if len(homes) == 0 {
+		panic("core: AllocHomed with no pages")
+	}
+	base := m.kern.AllocPage(homes[0])
+	for _, h := range homes[1:] {
+		m.kern.AllocPage(h)
+	}
+	return base.Base()
+}
+
+// Replicate creates copies of the page containing va on the given
+// nodes, instantaneously (pre-run placement). The copy-list is kept
+// path-length-ordered by the kernel.
+func (m *Machine) Replicate(va memory.VAddr, nodes ...mesh.NodeID) {
+	for _, n := range nodes {
+		m.kern.ReplicateNow(va.Page(), n)
+	}
+}
+
+// ReplicateRange replicates npages pages starting at va's page onto
+// the given nodes.
+func (m *Machine) ReplicateRange(va memory.VAddr, npages int, nodes ...mesh.NodeID) {
+	for i := 0; i < npages; i++ {
+		m.Replicate(va+memory.VAddr(i*memory.PageWords), nodes...)
+	}
+}
+
+// Poke initializes the word at va on every copy, outside simulated
+// time.
+func (m *Machine) Poke(va memory.VAddr, v memory.Word) { m.kern.Poke(va, v) }
+
+// Peek reads the master copy of va outside simulated time.
+func (m *Machine) Peek(va memory.VAddr) memory.Word { return m.kern.Peek(va) }
+
+// Spawn creates a thread on node running body.
+func (m *Machine) Spawn(node mesh.NodeID, body func(*proc.Thread)) *proc.Thread {
+	id := m.nextTID
+	m.nextTID++
+	t := m.procs[node].Spawn(id, fmt.Sprintf("t%d@n%d", id, node), body)
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// SpawnNamed is Spawn with a diagnostic thread name.
+func (m *Machine) SpawnNamed(node mesh.NodeID, name string, body func(*proc.Thread)) *proc.Thread {
+	id := m.nextTID
+	m.nextTID++
+	t := m.procs[node].Spawn(id, name, body)
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// Threads returns all spawned threads.
+func (m *Machine) Threads() []*proc.Thread { return m.threads }
+
+// ActiveProcs returns the number of processors with at least one
+// thread (the denominator of utilization).
+func (m *Machine) ActiveProcs() int {
+	n := 0
+	for _, p := range m.procs {
+		if len(p.Threads()) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the machine until all threads complete and the network
+// drains, returning the elapsed virtual time. It fails if threads
+// remain parked with no pending events (deadlock: a Sleep with no
+// Wake, a lock never released).
+func (m *Machine) Run() (sim.Cycles, error) {
+	m.started = m.eng.Now()
+	m.eng.Run()
+	m.elapsed = m.eng.Now() - m.started
+	m.ran = true
+	var stuck []string
+	for _, t := range m.threads {
+		if !t.Done() {
+			stuck = append(stuck, t.Name())
+		}
+	}
+	if len(stuck) > 0 {
+		return m.elapsed, fmt.Errorf("core: deadlock — %d thread(s) never finished: %v", len(stuck), stuck)
+	}
+	// In invalidate mode replicas legitimately hold stale words (marked
+	// invalid), so byte-identical copies are not expected.
+	if !m.cfg.InvalidateMode {
+		if err := m.kern.CheckCoherent(); err != nil {
+			return m.elapsed, fmt.Errorf("core: coherence violated after quiescence: %w", err)
+		}
+	}
+	return m.elapsed, nil
+}
+
+// Elapsed returns the virtual time consumed by the last Run.
+func (m *Machine) Elapsed() sim.Cycles { return m.elapsed }
+
+// Utilization returns the ratio of useful processor time to elapsed
+// time over the active processors of the last Run (Figure 2-1's
+// metric).
+func (m *Machine) Utilization() float64 {
+	return m.st.Utilization(m.ActiveProcs(), m.elapsed)
+}
+
+// Wake makes a sleeping thread runnable; part of the lock/wakeup
+// protocol (Table 3-2). Usable from outside simulated code in tests.
+func (m *Machine) Wake(t *proc.Thread) {
+	t.Wake(t)
+}

@@ -1,0 +1,406 @@
+// Package kernel models the operating-system services of PLUS (§2.4):
+// the centralized virtual-memory map, page allocation, software-driven
+// page replication and deletion with hardware-assisted background
+// copying, copy-list ordering, and the competitive replication policy
+// driven by the hardware per-page reference counters.
+//
+// Software is responsible for page placement and replication policies;
+// the hardware (coherence manager, package coherence) keeps the copies
+// coherent and performs the bulk copy.
+package kernel
+
+import (
+	"fmt"
+
+	"plus/internal/coherence"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/mmu"
+	"plus/internal/sim"
+	"plus/internal/stats"
+	"plus/internal/timing"
+)
+
+// Kernel is the machine-wide operating-system state. Like all
+// simulated components it runs under the engine's single logical
+// thread.
+type Kernel struct {
+	eng    *sim.Engine
+	net    *mesh.Mesh
+	cms    []*coherence.CM
+	mems   []*memory.Memory
+	tables []*mmu.Table
+	tm     timing.Timing
+	st     *stats.Machine
+
+	// copyLists is the centralized table: virtual page → ordered
+	// copy-list, master copy first.
+	copyLists map[memory.VPage][]memory.GPage
+	nextVPage memory.VPage
+
+	// Competitive replication (§2.4): per-(node, page) remote reference
+	// counters maintained by hardware; when one overflows the
+	// threshold, the kernel replicates the page onto that node.
+	threshold   uint64
+	refCounts   map[refKey]uint64
+	replicating map[refKey]bool
+	// Replications counts competitive replications triggered.
+	Replications uint64
+}
+
+type refKey struct {
+	node mesh.NodeID
+	page memory.VPage
+}
+
+// New assembles the kernel over the machine's nodes.
+func New(eng *sim.Engine, net *mesh.Mesh, cms []*coherence.CM, mems []*memory.Memory, tables []*mmu.Table, tm timing.Timing, st *stats.Machine) *Kernel {
+	return &Kernel{
+		eng:         eng,
+		net:         net,
+		cms:         cms,
+		mems:        mems,
+		tables:      tables,
+		tm:          tm,
+		st:          st,
+		copyLists:   make(map[memory.VPage][]memory.GPage),
+		refCounts:   make(map[refKey]uint64),
+		replicating: make(map[refKey]bool),
+	}
+}
+
+// SetCompetitiveThreshold enables the competitive replication policy:
+// after threshold remote references from one node to one page, the
+// page is replicated onto that node. 0 disables the policy.
+func (k *Kernel) SetCompetitiveThreshold(threshold uint64) {
+	k.threshold = threshold
+}
+
+// AllocPage allocates one fresh virtual page homed on (mastered at)
+// the given node and returns its page number. The home mapping is
+// installed eagerly; other nodes fill lazily on first touch.
+func (k *Kernel) AllocPage(home mesh.NodeID) memory.VPage {
+	vp := k.nextVPage
+	k.nextVPage++
+	frame := k.mems[home].AllocFrame()
+	gp := memory.GPage{Node: home, Page: frame}
+	k.cms[home].InstallPage(frame, gp, memory.NilGPage)
+	k.copyLists[vp] = []memory.GPage{gp}
+	k.tables[home].Install(vp, gp)
+	return vp
+}
+
+// AllocPages allocates n consecutive virtual pages homed on home and
+// returns the first page number.
+func (k *Kernel) AllocPages(home mesh.NodeID, n int) memory.VPage {
+	if n < 1 {
+		panic("kernel: AllocPages with n < 1")
+	}
+	base := k.AllocPage(home)
+	for i := 1; i < n; i++ {
+		k.AllocPage(home)
+	}
+	return base
+}
+
+// CopyList returns the page's copy-list (master first). The returned
+// slice must not be mutated.
+func (k *Kernel) CopyList(vp memory.VPage) []memory.GPage {
+	return k.copyLists[vp]
+}
+
+// CopyNodes returns the nodes holding copies of vp, master first.
+func (k *Kernel) CopyNodes(vp memory.VPage) []mesh.NodeID {
+	list := k.copyLists[vp]
+	nodes := make([]mesh.NodeID, len(list))
+	for i, g := range list {
+		nodes[i] = g.Node
+	}
+	return nodes
+}
+
+// HasCopy reports whether node holds a copy of vp.
+func (k *Kernel) HasCopy(vp memory.VPage, node mesh.NodeID) bool {
+	for _, g := range k.copyLists[vp] {
+		if g.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve implements the lazy page-table fill: it returns the most
+// convenient (closest) physical copy of vp for the requesting node.
+// The caller charges the fault cost and installs the mapping.
+func (k *Kernel) Resolve(node mesh.NodeID, vp memory.VPage) (memory.GPage, error) {
+	list := k.copyLists[vp]
+	if len(list) == 0 {
+		return memory.NilGPage, fmt.Errorf("kernel: virtual page %d not mapped", vp)
+	}
+	best := list[0]
+	bestH := k.net.Hops(node, best.Node)
+	for _, g := range list[1:] {
+		if h := k.net.Hops(node, g.Node); h < bestH || (h == bestH && g.Node < best.Node) {
+			best, bestH = g, h
+		}
+	}
+	return best, nil
+}
+
+// insertionPoint picks the copy-list position (an index >= 1, i.e.
+// after the master) where linking a copy on node adds the least
+// network path length — the kernel "orders the copy-list to minimize
+// the network path length through all the nodes in the list" (§2.3)
+// by nearest insertion.
+func (k *Kernel) insertionPoint(list []memory.GPage, node mesh.NodeID) int {
+	bestPos, bestCost := len(list), -1
+	for pos := 1; pos <= len(list); pos++ {
+		pred := list[pos-1].Node
+		cost := k.net.Hops(pred, node)
+		if pos < len(list) {
+			succ := list[pos].Node
+			cost += k.net.Hops(node, succ) - k.net.Hops(pred, succ)
+		}
+		if bestCost < 0 || cost < bestCost {
+			bestPos, bestCost = pos, cost
+		}
+	}
+	return bestPos
+}
+
+// ReplicateNow creates a copy of vp on node instantaneously — data,
+// copy-list splice and page-table update all at the current instant
+// with no simulated cost. Use it for pre-run placement, mirroring the
+// paper's experiments where memory layout is requested up front.
+func (k *Kernel) ReplicateNow(vp memory.VPage, node mesh.NodeID) {
+	if k.HasCopy(vp, node) {
+		return
+	}
+	list := k.copyLists[vp]
+	if len(list) == 0 {
+		panic(fmt.Sprintf("kernel: replicate of unmapped page %d", vp))
+	}
+	pos := k.insertionPoint(list, node)
+	frame := k.mems[node].AllocFrame()
+	gp := memory.GPage{Node: node, Page: frame}
+	k.splice(vp, pos, gp)
+	// Instant data copy from the predecessor.
+	pred := k.copyLists[vp][pos-1]
+	copy(k.mems[node].Page(frame), k.mems[pred.Node].Page(pred.Page))
+	k.tables[node].Install(vp, gp)
+}
+
+// Replicate creates a copy of vp on node as a background activity
+// (§2.4): the new copy is linked into the copy-list first — so
+// concurrent writes propagate through it while the bulk data is in
+// flight — and then the hardware copies the page from the predecessor.
+// done fires when the copy is complete and the node's mapping has been
+// switched to the local copy.
+func (k *Kernel) Replicate(vp memory.VPage, node mesh.NodeID, done func()) {
+	if k.HasCopy(vp, node) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	list := k.copyLists[vp]
+	if len(list) == 0 {
+		panic(fmt.Sprintf("kernel: replicate of unmapped page %d", vp))
+	}
+	pos := k.insertionPoint(list, node)
+	frame := k.mems[node].AllocFrame()
+	gp := memory.GPage{Node: node, Page: frame}
+	k.splice(vp, pos, gp)
+	pred := k.copyLists[vp][pos-1]
+	k.cms[pred.Node].PageCopy(pred.Page, gp, func() {
+		// When the new page has been fully written, the node updates
+		// its address translation tables to use the new copy.
+		k.tables[node].Install(vp, gp)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// splice links gp into vp's copy-list at position pos, updating the
+// hardware master/next-copy tables on the predecessor and new node.
+func (k *Kernel) splice(vp memory.VPage, pos int, gp memory.GPage) {
+	list := k.copyLists[vp]
+	master := list[0]
+	pred := list[pos-1]
+	next := memory.NilGPage
+	if pos < len(list) {
+		next = list[pos]
+	}
+	k.cms[gp.Node].InstallPage(gp.Page, master, next)
+	k.cms[pred.Node].SetNext(pred.Page, gp)
+	nl := make([]memory.GPage, 0, len(list)+1)
+	nl = append(nl, list[:pos]...)
+	nl = append(nl, gp)
+	nl = append(nl, list[pos:]...)
+	k.copyLists[vp] = nl
+}
+
+// DeleteCopy removes node's copy of vp. Deleting a copy is akin to
+// removing a page in a paging operating system: every node that maps
+// the page must update its translation tables and flush its TLB
+// (§2.4). The machine must be quiescent for this page (no writes or
+// delayed operations in flight); the kernel verifies machine-wide
+// write quiescence and panics otherwise — the simulated workloads
+// fence before reorganizing memory, exactly as real software must.
+func (k *Kernel) DeleteCopy(vp memory.VPage, node mesh.NodeID) {
+	for _, cm := range k.cms {
+		if cm.PendingCount() != 0 {
+			panic("kernel: DeleteCopy while writes are in flight")
+		}
+	}
+	list := k.copyLists[vp]
+	idx := -1
+	for i, g := range list {
+		if g.Node == node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("kernel: node %d holds no copy of page %d", node, vp))
+	}
+	if len(list) == 1 {
+		panic(fmt.Sprintf("kernel: cannot delete the only copy of page %d", vp))
+	}
+	victim := list[idx]
+	nl := append(append([]memory.GPage{}, list[:idx]...), list[idx+1:]...)
+	k.copyLists[vp] = nl
+
+	if idx == 0 {
+		// Deleting the master: promote the next copy and rewrite every
+		// remaining copy's master pointer.
+		newMaster := nl[0]
+		for _, g := range nl {
+			k.cms[g.Node].SetMaster(g.Page, newMaster)
+		}
+	} else {
+		// Splice the predecessor past the victim.
+		pred := nl[idx-1]
+		next := memory.NilGPage
+		if idx < len(nl) {
+			next = nl[idx]
+		}
+		k.cms[pred.Node].SetNext(pred.Page, next)
+	}
+	k.cms[node].DropPage(victim.Page)
+
+	// TLB shootdown: every node remaps the page lazily.
+	for _, tbl := range k.tables {
+		tbl.Invalidate(vp)
+	}
+	// Reinstall eager mappings on nodes that still hold copies.
+	for _, g := range nl {
+		k.tables[g.Node].Install(vp, g)
+	}
+}
+
+// Migrate moves vp's copy from one node to another: create the new
+// copy, then delete the old one (§2.4: "Page migration is achieved
+// simply by creating a copy and then deleting the old one"). The
+// machine must be write-quiescent, as for DeleteCopy.
+func (k *Kernel) Migrate(vp memory.VPage, from, to mesh.NodeID) {
+	k.ReplicateNow(vp, to)
+	k.DeleteCopy(vp, from)
+}
+
+// NoteRemoteRef is called by the processor layer on every reference
+// that leaves the node — the hardware "counts the number of references
+// from each processor to each page" unconditionally (§2.4). When the
+// competitive threshold is set and crossed, the kernel additionally
+// replicates the page onto the referencing node in the background —
+// the competitive algorithm of [5]: once the cumulative cost of remote
+// references exceeds the cost of creating a copy, create it.
+func (k *Kernel) NoteRemoteRef(node mesh.NodeID, vp memory.VPage) {
+	key := refKey{node, vp}
+	k.refCounts[key]++
+	if k.threshold == 0 {
+		return
+	}
+	if k.refCounts[key] >= k.threshold && !k.replicating[key] && !k.HasCopy(vp, node) {
+		k.replicating[key] = true
+		k.Replications++
+		k.Replicate(vp, node, func() {
+			k.replicating[key] = false
+			k.refCounts[key] = 0
+		})
+	}
+}
+
+// RemoteRefProfile returns a copy of the hardware reference counters:
+// per page, the remote-reference count from each node. This is the
+// measurement §2.4's second placement mode feeds into the next run's
+// memory layout (see the placement package).
+func (k *Kernel) RemoteRefProfile() map[memory.VPage]map[mesh.NodeID]uint64 {
+	out := make(map[memory.VPage]map[mesh.NodeID]uint64)
+	for key, c := range k.refCounts {
+		if c == 0 {
+			continue
+		}
+		pg := out[key.page]
+		if pg == nil {
+			pg = make(map[mesh.NodeID]uint64)
+			out[key.page] = pg
+		}
+		pg[key.node] = c
+	}
+	return out
+}
+
+// RefCount returns the hardware remote-reference counter for (node,
+// page), for tests and instrumentation.
+func (k *Kernel) RefCount(node mesh.NodeID, vp memory.VPage) uint64 {
+	return k.refCounts[refKey{node, vp}]
+}
+
+// Poke writes v directly into every copy of the word at vp+off,
+// bypassing the coherence protocol and simulated time. For machine
+// initialization before a run.
+func (k *Kernel) Poke(va memory.VAddr, v memory.Word) {
+	vp, off := va.Page(), va.Offset()
+	list := k.copyLists[vp]
+	if len(list) == 0 {
+		panic(fmt.Sprintf("kernel: Poke of unmapped page %d", vp))
+	}
+	for _, g := range list {
+		k.mems[g.Node].Write(g.Page, off, v)
+	}
+}
+
+// Peek reads the master copy of the word at va directly, bypassing
+// the protocol and simulated time. For result extraction after a run.
+func (k *Kernel) Peek(va memory.VAddr) memory.Word {
+	vp, off := va.Page(), va.Offset()
+	list := k.copyLists[vp]
+	if len(list) == 0 {
+		panic(fmt.Sprintf("kernel: Peek of unmapped page %d", vp))
+	}
+	return k.mems[list[0].Node].Read(list[0].Page, off)
+}
+
+// CheckCoherent verifies that every copy of every page holds identical
+// contents — the general-coherence invariant after quiescence. It
+// returns the first discrepancy found.
+func (k *Kernel) CheckCoherent() error {
+	for vp, list := range k.copyLists {
+		if len(list) < 2 {
+			continue
+		}
+		master := k.mems[list[0].Node].Page(list[0].Page)
+		for _, g := range list[1:] {
+			replica := k.mems[g.Node].Page(g.Page)
+			for off := range master {
+				if master[off] != replica[off] {
+					return fmt.Errorf("kernel: page %d word %d: master(n%d)=%#x copy(n%d)=%#x",
+						vp, off, list[0].Node, master[off], g.Node, replica[off])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package memory models per-node physical memory and defines the
+// fundamental address and word types shared across the machine.
+//
+// PLUS memory is word-grained: the unit of replication is a 4 KB page
+// (1024 32-bit words, matching the off-the-shelf CPU's MMU), but the
+// unit of access and coherence is one 32-bit word. All addresses in
+// this codebase are word addresses, not byte addresses.
+package memory
+
+import (
+	"fmt"
+
+	"plus/internal/mesh"
+)
+
+// PageShift and PageWords define the 4 KB page: 2^10 words of 4 bytes.
+const (
+	PageShift = 10
+	PageWords = 1 << PageShift
+	OffMask   = PageWords - 1
+)
+
+// Word is the 32-bit memory word, the unit of access and coherence.
+// Several delayed operations treat the top bit as a hardware flag
+// (fetch-and-set, queue, dequeue, cond-xchng).
+type Word uint32
+
+// TopBit is the hardware flag bit used by queue/dequeue/fetch-and-set
+// and tested by cond-xchng.
+const TopBit Word = 0x80000000
+
+// VAddr is a word-grained virtual address. All nodes share one virtual
+// address space (PLUS runs a single multithreaded process).
+type VAddr uint32
+
+// VPage is a virtual page number.
+type VPage uint32
+
+// Page returns the virtual page containing the address.
+func (a VAddr) Page() VPage { return VPage(a >> PageShift) }
+
+// Offset returns the word offset within the page.
+func (a VAddr) Offset() uint32 { return uint32(a) & OffMask }
+
+// Base returns the first address of the page.
+func (p VPage) Base() VAddr { return VAddr(uint32(p) << PageShift) }
+
+// Addr returns the address of word off within the page.
+func (p VPage) Addr(off uint32) VAddr { return p.Base() + VAddr(off&OffMask) }
+
+// PPage is a physical page (frame) index within one node's memory.
+type PPage int32
+
+// GPage is a global physical page address: the <node-id, page-id> pair
+// generated directly by the memory-mapping hardware (§2.3).
+type GPage struct {
+	Node mesh.NodeID
+	Page PPage
+}
+
+// NilGPage marks "no page" (e.g. end of a copy-list).
+var NilGPage = GPage{Node: -1, Page: -1}
+
+// IsNil reports whether g is the nil page.
+func (g GPage) IsNil() bool { return g == NilGPage }
+
+func (g GPage) String() string {
+	if g.IsNil() {
+		return "gpage(nil)"
+	}
+	return fmt.Sprintf("gpage(n%d:p%d)", g.Node, g.Page)
+}
+
+// Memory is one node's local memory: an array of page frames. In PLUS
+// the local memory serves both as main memory and as the replica store
+// for pages homed elsewhere.
+type Memory struct {
+	frames [][]Word
+}
+
+// New returns an empty memory; frames are allocated on demand.
+func New() *Memory { return &Memory{} }
+
+// AllocFrame allocates a zeroed page frame and returns its index.
+func (m *Memory) AllocFrame() PPage {
+	m.frames = append(m.frames, make([]Word, PageWords))
+	return PPage(len(m.frames) - 1)
+}
+
+// Frames returns the number of allocated frames.
+func (m *Memory) Frames() int { return len(m.frames) }
+
+// Read returns the word at offset off of frame p.
+func (m *Memory) Read(p PPage, off uint32) Word {
+	return m.frames[p][off&OffMask]
+}
+
+// Write stores v at offset off of frame p.
+func (m *Memory) Write(p PPage, off uint32, v Word) {
+	m.frames[p][off&OffMask] = v
+}
+
+// Page returns the backing slice of frame p (used by the page-copy
+// engine and by tests; writes through it bypass coherence).
+func (m *Memory) Page(p PPage) []Word { return m.frames[p] }

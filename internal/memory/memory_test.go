@@ -1,0 +1,95 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressArithmetic(t *testing.T) {
+	a := VAddr(5*PageWords + 17)
+	if a.Page() != 5 {
+		t.Fatalf("page = %d, want 5", a.Page())
+	}
+	if a.Offset() != 17 {
+		t.Fatalf("offset = %d, want 17", a.Offset())
+	}
+	if VPage(5).Addr(17) != a {
+		t.Fatalf("Addr round trip failed")
+	}
+	if VPage(5).Base() != VAddr(5*PageWords) {
+		t.Fatalf("Base = %d", VPage(5).Base())
+	}
+}
+
+func TestAddressRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := VAddr(raw)
+		return a.Page().Addr(a.Offset()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := New()
+	p := m.AllocFrame()
+	if m.Read(p, 0) != 0 {
+		t.Fatal("fresh frame not zeroed")
+	}
+	m.Write(p, 42, 0xdeadbeef)
+	if got := m.Read(p, 42); got != 0xdeadbeef {
+		t.Fatalf("read back %#x", got)
+	}
+	// Offsets wrap within the page rather than corrupting neighbours.
+	m.Write(p, PageWords+1, 7)
+	if got := m.Read(p, 1); got != 7 {
+		t.Fatalf("wrapped write: got %#x", got)
+	}
+}
+
+func TestMultipleFramesIndependent(t *testing.T) {
+	m := New()
+	a := m.AllocFrame()
+	b := m.AllocFrame()
+	if a == b {
+		t.Fatal("AllocFrame returned duplicate index")
+	}
+	m.Write(a, 0, 1)
+	m.Write(b, 0, 2)
+	if m.Read(a, 0) != 1 || m.Read(b, 0) != 2 {
+		t.Fatal("frames share storage")
+	}
+	if m.Frames() != 2 {
+		t.Fatalf("Frames = %d", m.Frames())
+	}
+}
+
+func TestGPageNil(t *testing.T) {
+	if !NilGPage.IsNil() {
+		t.Fatal("NilGPage.IsNil() = false")
+	}
+	g := GPage{Node: 0, Page: 0}
+	if g.IsNil() {
+		t.Fatal("real page reported nil")
+	}
+	if NilGPage.String() != "gpage(nil)" {
+		t.Fatalf("String = %q", NilGPage.String())
+	}
+	if g.String() != "gpage(n0:p0)" {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestPageSliceAliases(t *testing.T) {
+	m := New()
+	p := m.AllocFrame()
+	s := m.Page(p)
+	s[9] = 99
+	if m.Read(p, 9) != 99 {
+		t.Fatal("Page slice does not alias frame storage")
+	}
+	if len(s) != PageWords {
+		t.Fatalf("page slice length %d", len(s))
+	}
+}

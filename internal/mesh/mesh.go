@@ -1,0 +1,262 @@
+// Package mesh models the PLUS interconnection network: a 2-D mesh of
+// nodes connected by point-to-point links with a router per node
+// (Caltech mesh router in the original hardware, five I/O link pairs:
+// one to the processor and one per mesh neighbour).
+//
+// Routing is dimension-ordered (X first, then Y), which is deadlock-free
+// and matches wormhole mesh routers of the period. Latency follows the
+// paper's measured constants: the round trip between adjacent nodes is
+// 24 cycles and each extra hop adds 4 cycles, i.e. a one-way message
+// costs Base + PerHop*hops with Base=10 and PerHop=2 by default.
+//
+// An optional contention model serializes flits over each directed
+// link: a message of S flits occupies each link on its path for S
+// cycles, and messages queue FIFO behind earlier traffic. The paper's
+// experiments ran the network lightly loaded, so contention is off by
+// default; the ablation benches flip it on.
+package mesh
+
+import (
+	"fmt"
+
+	"plus/internal/sim"
+)
+
+// NodeID identifies a mesh node; IDs are assigned row-major:
+// id = y*Width + x.
+type NodeID int
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	Width  int
+	Height int
+	// Base is the fixed one-way latency of a message (router and
+	// interface overhead at both ends), in cycles.
+	Base sim.Cycles
+	// PerHop is the added one-way latency per link traversed.
+	PerHop sim.Cycles
+	// Contention, when true, serializes flits on each directed link.
+	Contention bool
+	// FlitCycles is the link occupancy per flit when Contention is on.
+	FlitCycles sim.Cycles
+}
+
+// DefaultConfig returns the paper-calibrated mesh: one-way adjacent
+// latency 12 cycles (round trip 24), +2 cycles per extra hop one-way
+// (+4 round trip), no contention.
+func DefaultConfig(width, height int) Config {
+	return Config{
+		Width:      width,
+		Height:     height,
+		Base:       10,
+		PerHop:     2,
+		Contention: false,
+		FlitCycles: 2,
+	}
+}
+
+// Handler receives messages delivered to a node.
+type Handler func(payload interface{})
+
+// Stats aggregates network activity.
+type Stats struct {
+	Messages  uint64     // total messages sent
+	Hops      uint64     // total link traversals
+	Flits     uint64     // total flits transferred (size units)
+	QueueWait sim.Cycles // total cycles spent queued behind busy links
+}
+
+// Mesh is the interconnection network. It is not safe for concurrent
+// use; like every simulated component it runs under the engine's
+// single logical thread.
+type Mesh struct {
+	cfg      Config
+	eng      *sim.Engine
+	handlers []Handler
+	// linkFree[l] is the first cycle at which directed link l is idle.
+	// Indexed by linkIndex. Used only when Contention is on.
+	linkFree []sim.Cycles
+	stats    Stats
+}
+
+// New creates a mesh. Handlers are registered per node with Attach
+// before any traffic is sent.
+func New(eng *sim.Engine, cfg Config) *Mesh {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		panic(fmt.Sprintf("mesh: invalid geometry %dx%d", cfg.Width, cfg.Height))
+	}
+	n := cfg.Width * cfg.Height
+	return &Mesh{
+		cfg:      cfg,
+		eng:      eng,
+		handlers: make([]Handler, n),
+		// 4 directed links per node is an over-allocation (edge nodes
+		// have fewer) but keeps indexing trivial.
+		linkFree: make([]sim.Cycles, n*4),
+	}
+}
+
+// Nodes returns the number of nodes in the mesh.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated network statistics.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// Attach registers the message handler for node id.
+func (m *Mesh) Attach(id NodeID, h Handler) {
+	m.handlers[id] = h
+}
+
+// Coord returns the (x, y) position of a node.
+func (m *Mesh) Coord(id NodeID) (x, y int) {
+	return int(id) % m.cfg.Width, int(id) / m.cfg.Width
+}
+
+// ID returns the node at (x, y).
+func (m *Mesh) ID(x, y int) NodeID {
+	return NodeID(y*m.cfg.Width + x)
+}
+
+// Hops returns the dimension-ordered path length between two nodes in
+// link traversals (Manhattan distance).
+func (m *Mesh) Hops(a, b NodeID) int {
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Latency returns the uncontended one-way latency for a message from
+// src to dst. A message to self costs Base (it still crosses the
+// processor/router interface in the real machine; local operations
+// bypass the network entirely and should not call Latency).
+func (m *Mesh) Latency(src, dst NodeID) sim.Cycles {
+	return m.cfg.Base + m.cfg.PerHop*sim.Cycles(m.Hops(src, dst))
+}
+
+// direction indices for links leaving a node.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+func (m *Mesh) linkIndex(from NodeID, dir int) int {
+	return int(from)*4 + dir
+}
+
+// Path returns the sequence of nodes visited by dimension-order
+// routing from src to dst, inclusive of both endpoints.
+func (m *Mesh) Path(src, dst NodeID) []NodeID {
+	path := []NodeID{src}
+	x, y := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, m.ID(x, y))
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, m.ID(x, y))
+	}
+	return path
+}
+
+// Send routes a message of size flits from src to dst and schedules
+// the destination handler after the modeled latency. sizeFlits must be
+// at least 1 (header flit). Delivery to an unattached node panics.
+func (m *Mesh) Send(src, dst NodeID, sizeFlits int, payload interface{}) {
+	if sizeFlits < 1 {
+		sizeFlits = 1
+	}
+	h := m.handlers[dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: send to unattached node %d", dst))
+	}
+	hops := m.Hops(src, dst)
+	m.stats.Messages++
+	m.stats.Hops += uint64(hops)
+	m.stats.Flits += uint64(sizeFlits)
+
+	lat := m.Latency(src, dst)
+	if m.cfg.Contention && hops > 0 {
+		lat += m.contend(src, dst, sizeFlits)
+	}
+	m.eng.Schedule(lat, func() { h(payload) })
+}
+
+// contend reserves each directed link on the path and returns the
+// extra queueing delay incurred. This is a pipelined (wormhole-like)
+// approximation: the header advances one hop per PerHop cycles once a
+// link frees, and the body occupies each link for sizeFlits*FlitCycles.
+func (m *Mesh) contend(src, dst NodeID, sizeFlits int) sim.Cycles {
+	now := m.eng.Now()
+	path := m.Path(src, dst)
+	occupancy := sim.Cycles(sizeFlits) * m.cfg.FlitCycles
+	var wait sim.Cycles
+	t := now
+	for i := 0; i+1 < len(path); i++ {
+		from, to := path[i], path[i+1]
+		dir := m.dirOf(from, to)
+		li := m.linkIndex(from, dir)
+		if m.linkFree[li] > t {
+			wait += m.linkFree[li] - t
+			t = m.linkFree[li]
+		}
+		m.linkFree[li] = t + occupancy
+		t += m.cfg.PerHop
+	}
+	m.stats.QueueWait += wait
+	return wait
+}
+
+func (m *Mesh) dirOf(from, to NodeID) int {
+	fx, fy := m.Coord(from)
+	tx, ty := m.Coord(to)
+	switch {
+	case tx > fx:
+		return dirEast
+	case tx < fx:
+		return dirWest
+	case ty > fy:
+		return dirSouth
+	default:
+		return dirNorth
+	}
+}
+
+// Nearest returns the node in candidates closest (fewest hops) to ref,
+// breaking ties toward the lowest node ID. It panics if candidates is
+// empty. Used by the kernel to map each node to its closest copy.
+func (m *Mesh) Nearest(ref NodeID, candidates []NodeID) NodeID {
+	if len(candidates) == 0 {
+		panic("mesh: Nearest with no candidates")
+	}
+	best := candidates[0]
+	bestH := m.Hops(ref, best)
+	for _, c := range candidates[1:] {
+		h := m.Hops(ref, c)
+		if h < bestH || (h == bestH && c < best) {
+			best, bestH = c, h
+		}
+	}
+	return best
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,197 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plus/internal/sim"
+)
+
+func newTestMesh(w, h int, contention bool) (*sim.Engine, *Mesh) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(w, h)
+	cfg.Contention = contention
+	return eng, New(eng, cfg)
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	_, m := newTestMesh(4, 3, false)
+	for id := NodeID(0); int(id) < m.Nodes(); id++ {
+		x, y := m.Coord(id)
+		if m.ID(x, y) != id {
+			t.Fatalf("node %d -> (%d,%d) -> %d", id, x, y, m.ID(x, y))
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	_, m := newTestMesh(4, 4, false)
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 15, 6},
+		{5, 10, 2},
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := m.Hops(c.b, c.a); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPaperLatencyCalibration(t *testing.T) {
+	// Round trip between adjacent nodes is about 24 cycles; each extra
+	// hop adds 4 cycles (paper §3.1).
+	_, m := newTestMesh(8, 8, false)
+	adjacent := m.Latency(0, 1) + m.Latency(1, 0)
+	if adjacent != 24 {
+		t.Fatalf("adjacent round trip = %d cycles, want 24", adjacent)
+	}
+	twoHop := m.Latency(0, 2) + m.Latency(2, 0)
+	if twoHop != 28 {
+		t.Fatalf("two-hop round trip = %d cycles, want 28", twoHop)
+	}
+	threeHop := m.Latency(0, m.ID(2, 1)) + m.Latency(m.ID(2, 1), 0)
+	if threeHop != 32 {
+		t.Fatalf("three-hop round trip = %d cycles, want 32", threeHop)
+	}
+}
+
+func TestPathDimensionOrder(t *testing.T) {
+	_, m := newTestMesh(4, 4, false)
+	// From (0,0) to (2,2): X first (1,0),(2,0) then Y (2,1),(2,2).
+	path := m.Path(m.ID(0, 0), m.ID(2, 2))
+	want := []NodeID{m.ID(0, 0), m.ID(1, 0), m.ID(2, 0), m.ID(2, 1), m.ID(2, 2)}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestPathLengthMatchesHops(t *testing.T) {
+	_, m := newTestMesh(5, 7, false)
+	f := func(a, b uint8) bool {
+		src := NodeID(int(a) % m.Nodes())
+		dst := NodeID(int(b) % m.Nodes())
+		path := m.Path(src, dst)
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		// Consecutive nodes must be mesh neighbours.
+		for i := 0; i+1 < len(path); i++ {
+			if m.Hops(path[i], path[i+1]) != 1 {
+				return false
+			}
+		}
+		return len(path)-1 == m.Hops(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	eng, m := newTestMesh(4, 4, false)
+	var got interface{}
+	var at sim.Cycles
+	m.Attach(5, func(p interface{}) { got, at = p, eng.Now() })
+	m.Attach(0, func(p interface{}) {})
+	m.Send(0, 5, 2, "hello")
+	eng.Run()
+	if got != "hello" {
+		t.Fatalf("payload = %v", got)
+	}
+	if want := m.Latency(0, 5); at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+	st := m.Stats()
+	if st.Messages != 1 || st.Hops != 2 || st.Flits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendToSelfAttachRequired(t *testing.T) {
+	eng, m := newTestMesh(2, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unattached node did not panic")
+		}
+	}()
+	m.Send(0, 1, 1, nil)
+	eng.Run()
+}
+
+func TestContentionSerializesLink(t *testing.T) {
+	eng, m := newTestMesh(4, 1, true)
+	var times []sim.Cycles
+	m.Attach(1, func(p interface{}) { times = append(times, eng.Now()) })
+	// Two 8-flit messages over the same link at t=0: the second waits
+	// for the first message's link occupancy (8 flits * 2 cycles).
+	m.Send(0, 1, 8, nil)
+	m.Send(0, 1, 8, nil)
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d messages", len(times))
+	}
+	base := m.Latency(0, 1)
+	if times[0] != base {
+		t.Fatalf("first delivery at %d, want %d", times[0], base)
+	}
+	if times[1] != base+16 {
+		t.Fatalf("second delivery at %d, want %d (queued)", times[1], base+16)
+	}
+	if m.Stats().QueueWait != 16 {
+		t.Fatalf("queue wait = %d, want 16", m.Stats().QueueWait)
+	}
+}
+
+func TestContentionDisjointLinksNoWait(t *testing.T) {
+	eng, m := newTestMesh(4, 4, true)
+	delivered := 0
+	m.Attach(1, func(p interface{}) { delivered++ })
+	m.Attach(m.ID(0, 1), func(p interface{}) { delivered++ })
+	m.Send(0, 1, 8, nil)          // east link of node 0
+	m.Send(0, m.ID(0, 1), 8, nil) // south link of node 0
+	eng.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	if w := m.Stats().QueueWait; w != 0 {
+		t.Fatalf("disjoint links queued %d cycles", w)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	_, m := newTestMesh(4, 4, false)
+	// ref at (0,0); candidates at 3 hops and 1 hop.
+	got := m.Nearest(0, []NodeID{m.ID(3, 0), m.ID(0, 1)})
+	if got != m.ID(0, 1) {
+		t.Fatalf("Nearest = %d, want %d", got, m.ID(0, 1))
+	}
+	// Tie: both 2 hops; lower ID wins.
+	got = m.Nearest(0, []NodeID{m.ID(1, 1), m.ID(2, 0)})
+	if got != m.ID(2, 0) {
+		t.Fatalf("Nearest tie = %d, want %d", got, m.ID(2, 0))
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0x0 mesh did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{Width: 0, Height: 0})
+}

@@ -1,0 +1,106 @@
+package mmu
+
+import "plus/internal/memory"
+
+// TLB models the processor's translation lookaside buffer over the
+// node's page table: a small fully-associative LRU cache of virtual→
+// global-physical page mappings. The paper leans on it in §2.4 —
+// deleting a page copy forces every node to "update their address
+// translation tables and flush their TLBs".
+type TLB struct {
+	cap   int
+	seq   uint64
+	slots []tlbEntry
+	// Hits and Misses count lookups (misses that hit the page table
+	// pay the refill cost; misses that miss it fault to the kernel).
+	Hits, Misses uint64
+	// Shootdowns counts explicit invalidations and flushes.
+	Shootdowns uint64
+}
+
+type tlbEntry struct {
+	valid bool
+	vp    memory.VPage
+	g     memory.GPage
+	used  uint64
+}
+
+// NewTLB builds a TLB with the given capacity (entries).
+func NewTLB(entries int) *TLB {
+	if entries < 1 {
+		entries = 1
+	}
+	return &TLB{cap: entries, slots: make([]tlbEntry, entries)}
+}
+
+// Lookup returns the cached mapping for vp.
+func (t *TLB) Lookup(vp memory.VPage) (memory.GPage, bool) {
+	for i := range t.slots {
+		e := &t.slots[i]
+		if e.valid && e.vp == vp {
+			t.seq++
+			e.used = t.seq
+			t.Hits++
+			return e.g, true
+		}
+	}
+	t.Misses++
+	return memory.NilGPage, false
+}
+
+// Insert caches a mapping, updating an existing entry for the page in
+// place (a remap must take effect immediately) or evicting the least
+// recently used entry.
+func (t *TLB) Insert(vp memory.VPage, g memory.GPage) {
+	t.seq++
+	victim := -1
+	for i := range t.slots {
+		e := &t.slots[i]
+		if e.valid && e.vp == vp {
+			victim = i
+			break
+		}
+		if victim < 0 && !e.valid {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := range t.slots {
+			if t.slots[i].used < t.slots[victim].used {
+				victim = i
+			}
+		}
+	}
+	t.slots[victim] = tlbEntry{valid: true, vp: vp, g: g, used: t.seq}
+}
+
+// Invalidate drops the entry for vp, if cached.
+func (t *TLB) Invalidate(vp memory.VPage) {
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].vp == vp {
+			t.slots[i].valid = false
+			t.Shootdowns++
+			return
+		}
+	}
+}
+
+// Flush drops every entry (the whole-TLB shootdown of §2.4).
+func (t *TLB) Flush() {
+	for i := range t.slots {
+		t.slots[i].valid = false
+	}
+	t.Shootdowns++
+}
+
+// Len returns the number of valid entries.
+func (t *TLB) Len() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}

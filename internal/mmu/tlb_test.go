@@ -1,0 +1,122 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plus/internal/memory"
+)
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(4)
+	if _, hit := tlb.Lookup(5); hit {
+		t.Fatal("empty TLB hit")
+	}
+	g := memory.GPage{Node: 1, Page: 2}
+	tlb.Insert(5, g)
+	got, hit := tlb.Lookup(5)
+	if !hit || got != g {
+		t.Fatalf("lookup = %v %v", got, hit)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1, memory.GPage{Node: 0, Page: 1})
+	tlb.Insert(2, memory.GPage{Node: 0, Page: 2})
+	tlb.Lookup(1) // page 1 recently used; 2 is now LRU
+	tlb.Insert(3, memory.GPage{Node: 0, Page: 3})
+	if _, hit := tlb.Lookup(2); hit {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, hit := tlb.Lookup(1); !hit {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+func TestTLBInsertReplacesInPlace(t *testing.T) {
+	// A remap of the same page must not leave a stale duplicate (the
+	// competitive-replication regression).
+	tlb := NewTLB(4)
+	old := memory.GPage{Node: 3, Page: 0}
+	nw := memory.GPage{Node: 0, Page: 9}
+	tlb.Insert(7, old)
+	tlb.Insert(7, nw)
+	got, hit := tlb.Lookup(7)
+	if !hit || got != nw {
+		t.Fatalf("lookup after remap = %v", got)
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("duplicate entries: len = %d", tlb.Len())
+	}
+}
+
+func TestTLBInvalidateAndFlush(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Insert(1, memory.GPage{Node: 0, Page: 1})
+	tlb.Insert(2, memory.GPage{Node: 0, Page: 2})
+	tlb.Invalidate(1)
+	if _, hit := tlb.Lookup(1); hit {
+		t.Fatal("invalidated entry hit")
+	}
+	tlb.Invalidate(99) // absent: no-op
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+	if tlb.Shootdowns != 2 {
+		t.Fatalf("shootdowns = %d", tlb.Shootdowns)
+	}
+}
+
+func TestTableTranslateLevels(t *testing.T) {
+	tbl := NewSized(2)
+	g := memory.GPage{Node: 1, Page: 4}
+	// Absent everywhere.
+	if _, tlbHit, ok := tbl.Translate(9); tlbHit || ok {
+		t.Fatal("translate of unmapped page succeeded")
+	}
+	tbl.Install(9, g)
+	// Install primes the TLB: first translate is a TLB hit.
+	if _, tlbHit, ok := tbl.Translate(9); !tlbHit || !ok {
+		t.Fatal("install did not prime the TLB")
+	}
+	// Evict via capacity, then translate: table hit, TLB refill.
+	tbl.Install(10, g)
+	tbl.Install(11, g)
+	got, tlbHit, ok := tbl.Translate(9)
+	if tlbHit || !ok || got != g {
+		t.Fatalf("post-eviction translate = %v %v %v", got, tlbHit, ok)
+	}
+	// And now it is cached again.
+	if _, tlbHit, _ := tbl.Translate(9); !tlbHit {
+		t.Fatal("refill did not cache")
+	}
+}
+
+func TestTLBConsistencyProperty(t *testing.T) {
+	// Property: after any insert sequence, every Lookup hit returns
+	// the most recent mapping inserted for that page.
+	f := func(ops []uint8) bool {
+		tlb := NewTLB(4)
+		last := make(map[memory.VPage]memory.GPage)
+		for i, op := range ops {
+			vp := memory.VPage(op % 8)
+			g := memory.GPage{Node: 0, Page: memory.PPage(i)}
+			tlb.Insert(vp, g)
+			last[vp] = g
+		}
+		for vp, want := range last {
+			if got, hit := tlb.Lookup(vp); hit && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

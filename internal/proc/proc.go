@@ -1,0 +1,507 @@
+// Package proc models the PLUS node processor (an M88000 in the 1990
+// implementation) executing the threads of the single multithreaded
+// application process.
+//
+// Application code is ordinary Go run as a simulation coroutine; every
+// shared-memory operation goes through the node's coherence manager
+// and charges the paper's cycle costs — the execution-driven
+// methodology of §2.5. A processor runs one thread at a time; in the
+// default mode a thread that blocks leaves the processor idle, while
+// in SwitchOnSync mode (the context-switching alternative evaluated in
+// Figure 3-1) the processor switches to another ready thread whenever
+// a delayed operation is issued or the running thread blocks, paying a
+// configurable switch cost.
+package proc
+
+import (
+	"fmt"
+
+	"plus/internal/coherence"
+	"plus/internal/kernel"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/mmu"
+	"plus/internal/sim"
+	"plus/internal/stats"
+	"plus/internal/timing"
+)
+
+// Mode selects the processor's reaction to latency.
+type Mode int
+
+const (
+	// RunToBlock is the PLUS design point: the processor stays with
+	// one thread; delayed operations hide latency, blocking operations
+	// stall the processor.
+	RunToBlock Mode = iota
+	// SwitchOnSync simulates the context-switching alternative of
+	// §3.3/§3.4: the processor switches threads every time a
+	// synchronization (delayed) operation is issued, and whenever the
+	// running thread blocks, paying SwitchCost cycles per dispatch.
+	SwitchOnSync
+)
+
+// Proc is one node's processor: a scheduler over the node's threads.
+type Proc struct {
+	node  mesh.NodeID
+	eng   *sim.Engine
+	cm    *coherence.CM
+	kern  *kernel.Kernel
+	table *mmu.Table
+	tm    timing.Timing
+	st    *stats.Machine
+
+	mode       Mode
+	switchCost sim.Cycles
+	// fenceOnSync makes every delayed-operation issue wait for all of
+	// the node's earlier writes first — the DASH-style "strong ordering
+	// at synchronization time" that PLUS's explicit fence avoids (§2.1,
+	// §2.3). Used by the ablation benches.
+	fenceOnSync bool
+
+	threads []*Thread
+	ready   []*Thread
+	current *Thread
+}
+
+// New builds a processor for node.
+func New(node mesh.NodeID, eng *sim.Engine, cm *coherence.CM, kern *kernel.Kernel, table *mmu.Table, tm timing.Timing, st *stats.Machine, mode Mode, switchCost sim.Cycles) *Proc {
+	return &Proc{
+		node: node, eng: eng, cm: cm, kern: kern, table: table,
+		tm: tm, st: st, mode: mode, switchCost: switchCost,
+	}
+}
+
+// SetFenceOnSync enables the implicit-fence-before-every-sync ablation.
+func (p *Proc) SetFenceOnSync(v bool) { p.fenceOnSync = v }
+
+// Node returns the mesh node this processor occupies.
+func (p *Proc) Node() mesh.NodeID { return p.node }
+
+// Threads returns the threads spawned on this processor.
+func (p *Proc) Threads() []*Thread { return p.threads }
+
+func (p *Proc) nstat() *stats.Node { return &p.st.Nodes[p.node] }
+
+// tstate is a thread's scheduling state.
+type tstate int
+
+const (
+	tReady    tstate = iota // runnable, waiting for the processor
+	tRunning                // owns the processor
+	tBlocked                // waiting for a memory operation
+	tSleeping               // waiting for an explicit Wake
+	tDone                   // body returned
+)
+
+// Thread is one application thread, bound to its processor for life
+// (PLUS software pins threads; migration is by memory, not threads).
+type Thread struct {
+	id    int
+	name  string
+	proc  *Proc
+	co    *sim.Coroutine
+	state tstate
+	// wakePending absorbs a Wake that races ahead of Sleep, the
+	// classic lost-wakeup guard.
+	wakePending bool
+	// idleDepth > 0 suspends useful-time accounting: operations issued
+	// while polling for work are real processor activity but not the
+	// "useful processor time" of the paper's utilization metric.
+	idleDepth int
+}
+
+// Handle identifies an in-flight delayed operation: the address of a
+// location in the delayed-operations cache (a slot index here).
+type Handle struct {
+	slot int
+	node mesh.NodeID
+}
+
+// Spawn creates a thread on this processor running body. It becomes
+// runnable immediately (dispatched as soon as the processor is free).
+// id must be unique machine-wide; name is diagnostic.
+func (p *Proc) Spawn(id int, name string, body func(*Thread)) *Thread {
+	t := &Thread{id: id, name: name, proc: p, state: tReady}
+	t.co = sim.NewCoroutine(p.eng, name, func(*sim.Coroutine) {
+		body(t)
+		t.state = tDone
+		p.current = nil
+		p.dispatchNext()
+	})
+	p.threads = append(p.threads, t)
+	if p.current == nil {
+		p.dispatch(t)
+	} else {
+		p.ready = append(p.ready, t)
+	}
+	return t
+}
+
+// dispatch gives the processor to t, charging the context-switch cost
+// in SwitchOnSync mode.
+func (p *Proc) dispatch(t *Thread) {
+	p.current = t
+	var cost sim.Cycles
+	if p.mode == SwitchOnSync {
+		cost = p.switchCost
+		p.nstat().CtxSwitches++
+		p.st.Emit(int(p.node), "dispatch", "%s (+%d switch)", t.name, cost)
+	}
+	t.co.WakeAfter(cost)
+}
+
+// dispatchNext runs the next ready thread, or idles the processor.
+func (p *Proc) dispatchNext() {
+	if len(p.ready) == 0 {
+		return
+	}
+	t := p.ready[0]
+	p.ready = p.ready[1:]
+	p.dispatch(t)
+}
+
+// unblock makes a blocked or sleeping thread runnable. Called from
+// event context (operation completions) or another thread's slice
+// (Wake).
+func (p *Proc) unblock(t *Thread) {
+	t.state = tReady
+	if p.current == nil {
+		p.dispatch(t)
+	} else {
+		p.ready = append(p.ready, t)
+	}
+}
+
+// WakeThread delivers an explicit wakeup (the wake_up() of the
+// paper's Table 3-2 lock). A wake of a thread that is not sleeping is
+// remembered and absorbed by its next Sleep.
+func (p *Proc) WakeThread(t *Thread) {
+	if t.state == tSleeping {
+		p.unblock(t)
+	} else {
+		t.wakePending = true
+	}
+}
+
+// --- Thread API --------------------------------------------------------
+
+// ID returns the machine-wide thread identifier.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Node returns the mesh node the thread runs on.
+func (t *Thread) Node() mesh.NodeID { return t.proc.node }
+
+// Done reports whether the thread's body has returned.
+func (t *Thread) Done() bool { return t.state == tDone }
+
+// Now returns the current virtual time in cycles.
+func (t *Thread) Now() sim.Cycles { return t.proc.eng.Now() }
+
+// consume charges c cycles of useful processor time (computation or
+// instruction issue) — the numerator of the paper's utilization.
+// Inside a BeginIdle/EndIdle bracket the cycles pass but do not count
+// as useful.
+func (t *Thread) consume(c sim.Cycles) {
+	if c == 0 {
+		return
+	}
+	if t.idleDepth == 0 {
+		t.proc.nstat().BusyCycles += c
+	}
+	t.co.WaitCycles(c)
+}
+
+// BeginIdle suspends useful-time accounting (polling for work); pairs
+// with EndIdle. Nesting is allowed.
+func (t *Thread) BeginIdle() { t.idleDepth++ }
+
+// EndIdle resumes useful-time accounting.
+func (t *Thread) EndIdle() {
+	if t.idleDepth == 0 {
+		panic("proc: EndIdle without BeginIdle")
+	}
+	t.idleDepth--
+}
+
+// overhead charges c cycles that are neither useful work nor a stall
+// (page-fault handling).
+func (t *Thread) overhead(c sim.Cycles) {
+	if c == 0 {
+		return
+	}
+	t.co.WaitCycles(c)
+}
+
+// blockUntil parks the thread until done fires (it may fire
+// synchronously inside start). It returns the cycles spent parked.
+func (t *Thread) blockUntil(start func(done func())) sim.Cycles {
+	completed := false
+	start(func() {
+		completed = true
+		if t.state == tBlocked {
+			t.proc.unblock(t)
+		}
+	})
+	if completed {
+		return 0
+	}
+	began := t.proc.eng.Now()
+	t.state = tBlocked
+	t.proc.current = nil
+	t.proc.dispatchNext()
+	t.co.Park()
+	t.state = tRunning
+	return t.proc.eng.Now() - began
+}
+
+// yield requeues the thread behind its processor's ready list — the
+// SwitchOnSync context switch after issuing a synchronization
+// operation.
+func (t *Thread) yield() {
+	t.state = tReady
+	t.proc.ready = append(t.proc.ready, t)
+	t.proc.current = nil
+	t.proc.dispatchNext()
+	t.co.Park()
+	t.state = tRunning
+}
+
+// translate converts a virtual address to the global physical address
+// of this node's chosen copy, filling the page table lazily (§2.4) and
+// feeding the hardware remote-reference counters.
+func (t *Thread) translate(va memory.VAddr) coherence.GAddr {
+	p := t.proc
+	vp := va.Page()
+	g, tlbHit, ok := p.table.Translate(vp)
+	switch {
+	case tlbHit:
+		// Free: translation overlaps the access in hardware.
+	case ok:
+		t.overhead(p.tm.TLBRefill)
+	default:
+		t.overhead(p.tm.PageFault)
+		resolved, err := p.kern.Resolve(p.node, vp)
+		if err != nil {
+			panic(fmt.Sprintf("proc: thread %q: %v", t.name, err))
+		}
+		p.table.Install(vp, resolved)
+		p.nstat().PageFaults++
+		p.table.Faults++
+		g = resolved
+	}
+	if g.Node != p.node {
+		p.kern.NoteRemoteRef(p.node, vp)
+	}
+	return coherence.At(g, va.Offset())
+}
+
+// Compute charges c cycles of application computation.
+func (t *Thread) Compute(c sim.Cycles) { t.consume(c) }
+
+// Read performs a coherent read of the word at va. Local reads cost
+// the cache model's time; remote reads cost 32 cycles plus the network
+// round trip; a read of a location with a write pending from this node
+// blocks until the write completes.
+func (t *Thread) Read(va memory.VAddr) memory.Word {
+	g := t.translate(va)
+	var v memory.Word
+	elapsed := t.blockUntil(func(done func()) {
+		t.proc.cm.Read(g, func(w memory.Word) { v = w; done() })
+	})
+	// Accounting: an uncontended local access is useful memory time; a
+	// remote or write-blocked read is busy for the issue overhead and
+	// stalled for the remainder.
+	if elapsed <= t.proc.tm.CacheLineFill {
+		t.proc.nstat().BusyCycles += elapsed
+	} else {
+		t.proc.nstat().BusyCycles += t.proc.tm.RemoteReadOverhead
+		t.proc.nstat().ReadStall += elapsed - t.proc.tm.RemoteReadOverhead
+	}
+	return v
+}
+
+// Write issues a coherent, non-blocking write of v to va. The write
+// propagates to every copy in the background; the processor stalls
+// only when the pending-writes cache is full.
+func (t *Thread) Write(va memory.VAddr, v memory.Word) {
+	g := t.translate(va)
+	stalled := t.blockUntil(func(done func()) {
+		t.proc.cm.Write(g, v, done)
+	})
+	t.proc.nstat().WriteStall += stalled
+	t.consume(t.proc.tm.WriteIssue)
+}
+
+// Fence blocks until all of this node's earlier writes (including
+// delayed-operation modifications) have completed at every copy — the
+// explicit write fence of §2.3 used to order synchronization.
+func (t *Thread) Fence() {
+	t.proc.st.Emit(int(t.proc.node), "fence", "%s", t.name)
+	stalled := t.blockUntil(func(done func()) {
+		t.proc.cm.Fence(done)
+	})
+	t.proc.nstat().FenceStall += stalled
+}
+
+// Issue starts a delayed operation on va and returns a handle for
+// Verify. The issue costs ~25 cycles; the operation executes at the
+// master copy concurrently with subsequent instructions. In
+// SwitchOnSync mode the processor switches threads after issuing.
+func (t *Thread) Issue(op coherence.Op, va memory.VAddr, operand memory.Word) Handle {
+	if t.proc.fenceOnSync {
+		t.Fence()
+	}
+	g := t.translate(va)
+	t.consume(t.proc.tm.DelayedIssue)
+	var h Handle
+	stalled := t.blockUntil(func(done func()) {
+		t.proc.cm.RMW(op, g, operand, func(slot int) {
+			h = Handle{slot: slot, node: t.proc.node}
+			done()
+		})
+	})
+	t.proc.nstat().WriteStall += stalled
+	if t.proc.mode == SwitchOnSync {
+		t.yield()
+	}
+	return h
+}
+
+// Verify retrieves a delayed operation's result, blocking until it is
+// available, and frees the delayed-operations cache slot. Reading an
+// available result costs ~10 cycles.
+func (t *Thread) Verify(h Handle) memory.Word {
+	if h.node != t.proc.node {
+		panic(fmt.Sprintf("proc: thread %q verifying a handle issued on node %d", t.name, h.node))
+	}
+	var v memory.Word
+	stalled := t.blockUntil(func(done func()) {
+		t.proc.cm.Verify(h.slot, func(w memory.Word) { v = w; done() })
+	})
+	t.proc.nstat().VerifyStall += stalled
+	t.consume(t.proc.tm.ResultRead)
+	return v
+}
+
+// TryVerify polls a delayed operation's status without blocking:
+// software can inspect the delayed-operations cache, so a non-blocking
+// read of the result is possible (§3.1). A successful poll frees the
+// slot and costs the usual result-read time; a failed poll costs one
+// cycle.
+func (t *Thread) TryVerify(h Handle) (memory.Word, bool) {
+	if h.node != t.proc.node {
+		panic(fmt.Sprintf("proc: thread %q polling a handle issued on node %d", t.name, h.node))
+	}
+	v, ok := t.proc.cm.TryVerify(h.slot)
+	if ok {
+		t.consume(t.proc.tm.ResultRead)
+		return v, true
+	}
+	t.consume(t.proc.tm.CacheHit)
+	return 0, false
+}
+
+// Sleep parks the thread until another thread Wakes it (the wait() of
+// the paper's queue lock, Table 3-2). A Wake that arrived earlier is
+// absorbed immediately.
+func (t *Thread) Sleep() {
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	t.state = tSleeping
+	t.proc.current = nil
+	t.proc.dispatchNext()
+	t.co.Park()
+	t.state = tRunning
+}
+
+// Wake makes the target thread runnable (wake_up() of Table 3-2). It
+// may be called from any thread.
+func (t *Thread) Wake(target *Thread) {
+	target.proc.WakeThread(target)
+}
+
+// --- Named delayed-operation wrappers (Table 3-1) ---------------------
+
+// Xchng issues xchng: return current value, write operand.
+func (t *Thread) Xchng(va memory.VAddr, v memory.Word) Handle {
+	return t.Issue(coherence.OpXchng, va, v)
+}
+
+// CondXchng issues cond-xchng: return current value; write operand if
+// the top bit of the current value is set.
+func (t *Thread) CondXchng(va memory.VAddr, v memory.Word) Handle {
+	return t.Issue(coherence.OpCondXchng, va, v)
+}
+
+// Fadd issues fetch-and-add with a signed delta.
+func (t *Thread) Fadd(va memory.VAddr, delta int32) Handle {
+	return t.Issue(coherence.OpFadd, va, memory.Word(uint32(delta)))
+}
+
+// FetchSet issues fetch-and-set: return current value, set top bit.
+func (t *Thread) FetchSet(va memory.VAddr) Handle {
+	return t.Issue(coherence.OpFetchSet, va, 0)
+}
+
+// Enqueue issues queue on the control word at va (which holds the
+// tail offset within its page).
+func (t *Thread) Enqueue(va memory.VAddr, v memory.Word) Handle {
+	return t.Issue(coherence.OpQueue, va, v)
+}
+
+// Dequeue issues dequeue on the control word at va (which holds the
+// head offset within its page).
+func (t *Thread) Dequeue(va memory.VAddr) Handle {
+	return t.Issue(coherence.OpDequeue, va, 0)
+}
+
+// MinXchng issues min-xchng: return current value, store operand if
+// smaller.
+func (t *Thread) MinXchng(va memory.VAddr, v memory.Word) Handle {
+	return t.Issue(coherence.OpMinXchng, va, v)
+}
+
+// DelayedRead issues an asynchronous read whose result is retrieved
+// later with Verify — the latency-hiding read of §3.2.
+func (t *Thread) DelayedRead(va memory.VAddr) Handle {
+	return t.Issue(coherence.OpDelayedRead, va, 0)
+}
+
+// --- Blocking convenience wrappers -------------------------------------
+
+// FaddSync is a blocking fetch-and-add: Issue immediately followed by
+// Verify (the "blocking synchronization" coding style of Figure 3-1).
+func (t *Thread) FaddSync(va memory.VAddr, delta int32) memory.Word {
+	return t.Verify(t.Fadd(va, delta))
+}
+
+// XchngSync is a blocking exchange.
+func (t *Thread) XchngSync(va memory.VAddr, v memory.Word) memory.Word {
+	return t.Verify(t.Xchng(va, v))
+}
+
+// FetchSetSync is a blocking fetch-and-set.
+func (t *Thread) FetchSetSync(va memory.VAddr) memory.Word {
+	return t.Verify(t.FetchSet(va))
+}
+
+// EnqueueSync is a blocking enqueue returning the old tail word.
+func (t *Thread) EnqueueSync(va memory.VAddr, v memory.Word) memory.Word {
+	return t.Verify(t.Enqueue(va, v))
+}
+
+// DequeueSync is a blocking dequeue returning the old head word.
+func (t *Thread) DequeueSync(va memory.VAddr) memory.Word {
+	return t.Verify(t.Dequeue(va))
+}
+
+// MinXchngSync is a blocking min-exchange.
+func (t *Thread) MinXchngSync(va memory.VAddr, v memory.Word) memory.Word {
+	return t.Verify(t.MinXchng(va, v))
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures raw event throughput.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycles(i%64), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineChain measures self-rescheduling event chains (the
+// dominant pattern: message → handler → next message).
+func BenchmarkEngineChain(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	var tick func()
+	tick = func() {
+		if n > 0 {
+			n--
+			e.Schedule(3, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkCoroutineSwitch measures a park/wake round trip.
+func BenchmarkCoroutineSwitch(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	co := NewCoroutine(e, "bench", func(co *Coroutine) {
+		for i := 0; i < n; i++ {
+			co.WaitCycles(1)
+		}
+	})
+	co.WakeAfter(0)
+	b.ResetTimer()
+	e.Run()
+}

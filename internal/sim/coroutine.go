@@ -1,0 +1,106 @@
+package sim
+
+import "fmt"
+
+// Coroutine models a simulated thread of control (an application thread
+// running on a simulated processor). The body runs on its own goroutine
+// but never concurrently with the engine or with another coroutine: it
+// runs only between an engine resume and the next park, so all
+// simulated state can be accessed without locks.
+//
+// Lifecycle:
+//
+//	co := sim.NewCoroutine(eng, "t0", body) // body starts parked
+//	co.WakeAfter(0)                         // schedule first run
+//	eng.Run()
+//
+// Inside body, the coroutine yields virtual time with WaitCycles, or
+// parks indefinitely with Park (some event handler later calls
+// WakeAfter). When body returns, Done() reports true.
+type Coroutine struct {
+	eng    *Engine
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+	// waking is true while a wake event for this coroutine is pending
+	// in the engine's queue. It guards against double-resume.
+	waking bool
+	label  string
+}
+
+// NewCoroutine creates a coroutine that will execute body. The body
+// does not run until the first WakeAfter; it is created parked.
+func NewCoroutine(eng *Engine, label string, body func(*Coroutine)) *Coroutine {
+	co := &Coroutine{
+		eng:    eng,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		label:  label,
+	}
+	go func() {
+		<-co.resume
+		body(co)
+		co.done = true
+		co.parked <- struct{}{}
+	}()
+	return co
+}
+
+// Label returns the diagnostic name given at creation.
+func (co *Coroutine) Label() string { return co.label }
+
+// Done reports whether the body has returned.
+func (co *Coroutine) Done() bool { return co.done }
+
+// Engine returns the engine this coroutine is bound to.
+func (co *Coroutine) Engine() *Engine { return co.eng }
+
+// scheduleWake arms a resume event after delay cycles. The event hands
+// control to the coroutine and blocks the engine until it parks again
+// (or finishes), preserving the single-activity invariant.
+func (co *Coroutine) scheduleWake(delay Cycles) {
+	if co.done {
+		panic("sim: wake of finished coroutine " + co.label)
+	}
+	if co.waking {
+		panic("sim: double wake of coroutine " + co.label)
+	}
+	co.waking = true
+	co.eng.Schedule(delay, func() {
+		// Clear before transferring control: the body may re-arm its
+		// own wake (WaitCycles) during this slice.
+		co.waking = false
+		co.resume <- struct{}{}
+		<-co.parked
+	})
+}
+
+// WakeAfter schedules the coroutine to resume after delay cycles.
+// It panics on a double wake or a wake of a finished coroutine, to
+// surface protocol bugs rather than silently double-running a thread.
+func (co *Coroutine) WakeAfter(delay Cycles) { co.scheduleWake(delay) }
+
+// Wakeable reports whether WakeAfter may be called: the coroutine has
+// not finished and has no wake pending. (A coroutine that is currently
+// executing its slice is nominally wakeable, but only the coroutine
+// itself can observe that state, and waking oneself is meaningless.)
+func (co *Coroutine) Wakeable() bool { return !co.done && !co.waking }
+
+// Park suspends the coroutine until some event calls WakeAfter.
+// Must be called from the coroutine's own body.
+func (co *Coroutine) Park() {
+	co.parked <- struct{}{}
+	<-co.resume
+}
+
+// WaitCycles suspends the coroutine for d cycles of virtual time.
+// Must be called from the coroutine's own body.
+func (co *Coroutine) WaitCycles(d Cycles) {
+	co.scheduleWake(d)
+	co.Park()
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (co *Coroutine) String() string {
+	return fmt.Sprintf("coroutine(%s done=%v waking=%v)", co.label, co.done, co.waking)
+}

@@ -1,0 +1,138 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with cooperative coroutines.
+//
+// The engine owns a priority queue of timed events and a virtual clock
+// measured in processor cycles. Exactly one piece of simulated activity
+// runs at any instant: either an event handler or a coroutine that an
+// event handler resumed. Coroutines (used to model application threads
+// running on simulated processors) are ordinary goroutines that park on
+// a channel whenever they need virtual time to pass; the engine resumes
+// them from scheduled events and waits for them to park again before
+// popping the next event. The result is a total, reproducible order of
+// all simulated activity: ties in virtual time break on event sequence
+// number, which is assigned in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is a quantity of virtual time, measured in processor cycles.
+// In the PLUS implementation one cycle is 40 ns (25 MHz).
+type Cycles uint64
+
+// Event is a scheduled callback. Events compare by (At, seq) so that
+// events scheduled earlier run earlier when times tie.
+type event struct {
+	at  Cycles
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Cycles
+	seq     uint64
+	pq      eventHeap
+	running bool
+	// processed counts executed events, for diagnostics and runaway
+	// detection in tests.
+	processed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pq)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events not yet executed.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs fn after delay cycles of virtual time.
+func (e *Engine) Schedule(delay Cycles, fn func()) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Scheduling in the
+// past is a programming error and panics: the engine's clock never
+// moves backward.
+func (e *Engine) ScheduleAt(at Cycles, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+// Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Cycles) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunLimit executes at most n events; it returns the number executed.
+// Useful as a runaway backstop in tests.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	var i uint64
+	for ; i < n; i++ {
+		if !e.Step() {
+			break
+		}
+	}
+	return i
+}

@@ -1,0 +1,142 @@
+// Package stats instruments the simulated machine exactly the way the
+// paper's simulator did: "Caching, coherence management, routing and
+// memory access are simulated and instrumented in detail" (§2.5).
+// Table 2-1 and Figures 2-1/3-1 are computed from these counters.
+package stats
+
+import "plus/internal/sim"
+
+// Node holds one node's memory-system counters.
+type Node struct {
+	LocalReads   uint64 // reads satisfied by local memory (or its cache)
+	RemoteReads  uint64 // blocking reads sent over the network
+	LocalWrites  uint64 // writes whose master copy is local
+	RemoteWrites uint64 // writes sent to a remote master
+	Updates      uint64 // update requests applied at this node's copies
+	RMWIssued    uint64 // delayed operations issued by this node
+	RMWExecuted  uint64 // delayed operations executed at this node's masters
+
+	CacheHits   uint64
+	CacheMisses uint64
+
+	Fences      uint64
+	FenceStall  sim.Cycles // cycles stalled waiting for fences
+	ReadStall   sim.Cycles // cycles stalled on blocking/pending reads
+	WriteStall  sim.Cycles // cycles stalled on a full pending-writes cache
+	VerifyStall sim.Cycles // cycles stalled waiting for delayed-op results
+
+	PageFaults  uint64
+	PagesCopied uint64
+	// Invalidations and InvalidateMisses are nonzero only in the
+	// write-invalidate ablation mode.
+	Invalidations    uint64
+	InvalidateMisses uint64
+	CtxSwitches      uint64
+	BusyCycles       sim.Cycles // useful computation + issue time
+	threadsActive    int
+}
+
+// Machine aggregates per-node counters plus machine-wide message
+// counts by type.
+type Machine struct {
+	Nodes []Node
+
+	// tracer, when non-nil, records protocol events (see trace.go).
+	tracer *Tracer
+
+	// Message counts by coherence-protocol type, machine-wide.
+	MsgRead    uint64 // read requests
+	MsgReadRep uint64 // read replies
+	MsgWrite   uint64 // write requests (to addressed node or forwarded to master)
+	MsgUpdate  uint64 // updates down copy-lists
+	MsgAck     uint64 // write/RMW completion acks
+	MsgRMW     uint64 // delayed-operation requests
+	MsgRMWRep  uint64 // delayed-operation replies
+	MsgPage    uint64 // page-copy traffic
+}
+
+// New returns a stats block for n nodes.
+func New(n int) *Machine {
+	return &Machine{Nodes: make([]Node, n)}
+}
+
+// Totals sums the per-node counters.
+func (m *Machine) Totals() Node {
+	var t Node
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		t.LocalReads += n.LocalReads
+		t.RemoteReads += n.RemoteReads
+		t.LocalWrites += n.LocalWrites
+		t.RemoteWrites += n.RemoteWrites
+		t.Updates += n.Updates
+		t.RMWIssued += n.RMWIssued
+		t.RMWExecuted += n.RMWExecuted
+		t.CacheHits += n.CacheHits
+		t.CacheMisses += n.CacheMisses
+		t.Fences += n.Fences
+		t.FenceStall += n.FenceStall
+		t.ReadStall += n.ReadStall
+		t.WriteStall += n.WriteStall
+		t.VerifyStall += n.VerifyStall
+		t.PageFaults += n.PageFaults
+		t.PagesCopied += n.PagesCopied
+		t.Invalidations += n.Invalidations
+		t.InvalidateMisses += n.InvalidateMisses
+		t.CtxSwitches += n.CtxSwitches
+		t.BusyCycles += n.BusyCycles
+	}
+	return t
+}
+
+// Messages returns the total network message count across all
+// protocol types.
+func (m *Machine) Messages() uint64 {
+	return m.MsgRead + m.MsgReadRep + m.MsgWrite + m.MsgUpdate +
+		m.MsgAck + m.MsgRMW + m.MsgRMWRep + m.MsgPage
+}
+
+// ReadRatio returns local/remote reads (∞ is reported as a large
+// finite value to keep table output readable).
+func (m *Machine) ReadRatio() float64 {
+	t := m.Totals()
+	return ratio(t.LocalReads, t.RemoteReads)
+}
+
+// WriteRatio returns local/remote writes.
+func (m *Machine) WriteRatio() float64 {
+	t := m.Totals()
+	return ratio(t.LocalWrites, t.RemoteWrites)
+}
+
+// UpdateRatio returns total messages / update messages (the last
+// column of Table 2-1: as replication grows, a larger share of network
+// traffic is update propagation and the ratio falls toward 1).
+func (m *Machine) UpdateRatio() float64 {
+	return ratio(m.Messages(), m.MsgUpdate)
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return float64(a) // "infinite" ratio, reported as the numerator
+	}
+	return float64(a) / float64(b)
+}
+
+// Utilization returns the ratio of average useful processor time to
+// elapsed time across active processors (the paper's "utilization" in
+// Figure 2-1). active is the number of processors that executed
+// threads; elapsed is total run cycles.
+func (m *Machine) Utilization(active int, elapsed sim.Cycles) float64 {
+	if active == 0 || elapsed == 0 {
+		return 0
+	}
+	var busy sim.Cycles
+	for i := range m.Nodes {
+		busy += m.Nodes[i].BusyCycles
+	}
+	return float64(busy) / (float64(elapsed) * float64(active))
+}

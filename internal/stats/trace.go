@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"plus/internal/sim"
+)
+
+// TraceEvent is one recorded protocol or processor event. The tracer
+// is the debugging face of the paper's "simulated and instrumented in
+// detail": with tracing enabled, every coherence message, memory
+// operation and scheduling decision leaves a timestamped record.
+type TraceEvent struct {
+	At     sim.Cycles
+	Node   int
+	Kind   string // e.g. "write", "update", "ack", "rmw", "dispatch"
+	Detail string
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%8d] n%-3d %-10s %s", e.At, e.Node, e.Kind, e.Detail)
+}
+
+// Tracer collects events up to a limit (0 = unlimited is not offered;
+// traces are for debugging windows, not whole runs).
+type Tracer struct {
+	limit   int
+	events  []TraceEvent
+	dropped uint64
+	clock   func() sim.Cycles
+}
+
+// NewTracer creates a tracer holding at most limit events; later
+// events are counted as dropped.
+func NewTracer(limit int, clock func() sim.Cycles) *Tracer {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &Tracer{limit: limit, clock: clock}
+}
+
+// Emit records an event.
+func (tr *Tracer) Emit(node int, kind, format string, args ...interface{}) {
+	if len(tr.events) >= tr.limit {
+		tr.dropped++
+		return
+	}
+	tr.events = append(tr.events, TraceEvent{
+		At:     tr.clock(),
+		Node:   node,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the recorded events in order.
+func (tr *Tracer) Events() []TraceEvent { return tr.events }
+
+// Dropped returns how many events exceeded the limit.
+func (tr *Tracer) Dropped() uint64 { return tr.dropped }
+
+// Dump renders the trace as text.
+func (tr *Tracer) Dump() string {
+	var b strings.Builder
+	for _, e := range tr.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if tr.dropped > 0 {
+		fmt.Fprintf(&b, "... %d events dropped (limit %d)\n", tr.dropped, tr.limit)
+	}
+	return b.String()
+}
+
+// Trace is the machine-wide tracer hook; nil when tracing is off.
+// Components emit through Machine.Emit, which is a no-op without a
+// tracer, so the hot paths stay cheap.
+func (m *Machine) AttachTracer(tr *Tracer) { m.tracer = tr }
+
+// Tracer returns the attached tracer, or nil.
+func (m *Machine) Tracer() *Tracer { return m.tracer }
+
+// Emit records a trace event if tracing is enabled.
+func (m *Machine) Emit(node int, kind, format string, args ...interface{}) {
+	if m.tracer != nil {
+		m.tracer.Emit(node, kind, format, args...)
+	}
+}
+
+// Enabled reports whether tracing is on (lets callers skip argument
+// construction on hot paths).
+func (m *Machine) TraceEnabled() bool { return m.tracer != nil }

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"plus/internal/sim"
+)
+
+func TestTracerRecordsAndLimits(t *testing.T) {
+	var now sim.Cycles
+	tr := NewTracer(3, func() sim.Cycles { return now })
+	for i := 0; i < 5; i++ {
+		now = sim.Cycles(i * 10)
+		tr.Emit(1, "write", "word %d", i)
+	}
+	if len(tr.Events()) != 3 {
+		t.Fatalf("events = %d", len(tr.Events()))
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	if tr.Events()[2].At != 20 || tr.Events()[2].Kind != "write" {
+		t.Fatalf("event = %+v", tr.Events()[2])
+	}
+	dump := tr.Dump()
+	if !strings.Contains(dump, "word 2") || !strings.Contains(dump, "2 events dropped") {
+		t.Fatalf("dump = %q", dump)
+	}
+}
+
+func TestMachineEmitNoopWithoutTracer(t *testing.T) {
+	m := New(2)
+	if m.TraceEnabled() {
+		t.Fatal("tracing on by default")
+	}
+	m.Emit(0, "x", "should not crash")
+	tr := NewTracer(10, func() sim.Cycles { return 7 })
+	m.AttachTracer(tr)
+	if !m.TraceEnabled() || m.Tracer() != tr {
+		t.Fatal("tracer not attached")
+	}
+	m.Emit(1, "y", "recorded")
+	if len(tr.Events()) != 1 || tr.Events()[0].At != 7 {
+		t.Fatalf("events = %v", tr.Events())
+	}
+}
+
+func TestTracerDefaultLimit(t *testing.T) {
+	tr := NewTracer(0, func() sim.Cycles { return 0 })
+	if tr.limit != 4096 {
+		t.Fatalf("default limit = %d", tr.limit)
+	}
+}

@@ -1,0 +1,111 @@
+// Package timing collects every cycle-cost constant of the simulated
+// PLUS machine in one configurable table.
+//
+// Constants taken from the paper are marked [paper]; values the paper
+// leaves unstated are chosen to be plausible for 1990 hardware and are
+// marked [chosen] (they are configuration, not hard-coded, so the
+// ablation benches can sweep them).
+package timing
+
+import "plus/internal/sim"
+
+// Timing is the machine's cycle-cost table. One cycle is 40 ns in the
+// current PLUS implementation (25 MHz M88000).
+type Timing struct {
+	// CycleNs converts cycles to wall-clock time. [paper: 40]
+	CycleNs int
+
+	// DelayedIssue is the processor cost to issue a delayed operation.
+	// [paper §3.1: "approximately 25 cycles"]
+	DelayedIssue sim.Cycles
+	// ResultRead is the processor cost to read a delayed-op result that
+	// has already arrived. [paper §3.1: "about 10 cycles"]
+	ResultRead sim.Cycles
+	// RemoteReadOverhead is the non-network cost of a remote blocking
+	// read. [paper §3.1: "about 32 cycles plus the round-trip delay"]
+	RemoteReadOverhead sim.Cycles
+	// RMWSimple is the coherence-manager execution time of xchng,
+	// cond-xchng, fetch-and-add, fetch-and-set and delayed-read.
+	// [paper Table 3-1: 39]
+	RMWSimple sim.Cycles
+	// RMWComplex is the coherence-manager execution time of queue,
+	// dequeue and min-xchng. [paper Table 3-1: 52]
+	RMWComplex sim.Cycles
+
+	// CacheHit is the processor-cache hit time. [chosen: 1]
+	CacheHit sim.Cycles
+	// CacheLineFill is a four-word line fetch from local memory.
+	// [paper §3.4 assumption: 15]
+	CacheLineFill sim.Cycles
+	// LocalMemRead is an uncached single-word read of local memory by
+	// the coherence manager or processor. [chosen: 6]
+	LocalMemRead sim.Cycles
+	// WriteIssue is the processor cost to post a (non-blocking) write
+	// to the coherence manager. [chosen: 2]
+	WriteIssue sim.Cycles
+	// CMProcess is the coherence-manager handling cost of one
+	// write/update/read-request hop. [chosen: 8]
+	CMProcess sim.Cycles
+
+	// PageFault is the kernel cost of a lazy page-table fill: checking
+	// the centralized map and updating the local tables (§2.4).
+	// [chosen: 2000]
+	PageFault sim.Cycles
+	// TLBRefill is the hardware page-table walk on a TLB miss that
+	// hits the local page table. [chosen: 20]
+	TLBRefill sim.Cycles
+	// PageCopyPerWord is the hardware page-copy engine's pipelined cost
+	// per word when replicating a page in the background. [chosen: 4]
+	PageCopyPerWord sim.Cycles
+
+	// MaxPendingWrites is the pending-writes cache depth: writes a node
+	// may have in flight before the processor stalls. [paper §5: 8]
+	MaxPendingWrites int
+	// MaxDelayedOps is the delayed-operations cache depth. [paper §5: 8]
+	MaxDelayedOps int
+	// MaxQueueSize is the hardware queue wrap modulus in words for the
+	// queue/dequeue operations; queue slots occupy page offsets
+	// 0..MaxQueueSize-1 and control words live above them. [chosen:
+	// 512; the paper says only "(modulo maximum queue size)"]
+	MaxQueueSize int
+}
+
+// Default returns the paper-calibrated cost table.
+func Default() Timing {
+	return Timing{
+		CycleNs:            40,
+		DelayedIssue:       25,
+		ResultRead:         10,
+		RemoteReadOverhead: 32,
+		RMWSimple:          39,
+		RMWComplex:         52,
+		CacheHit:           1,
+		CacheLineFill:      15,
+		LocalMemRead:       6,
+		WriteIssue:         2,
+		CMProcess:          8,
+		PageFault:          2000,
+		TLBRefill:          20,
+		PageCopyPerWord:    4,
+		MaxPendingWrites:   8,
+		MaxDelayedOps:      8,
+		MaxQueueSize:       512,
+	}
+}
+
+// Validate reports whether the table is internally consistent.
+func (t Timing) Validate() error {
+	switch {
+	case t.MaxPendingWrites < 1:
+		return errTiming("MaxPendingWrites must be >= 1")
+	case t.MaxDelayedOps < 1:
+		return errTiming("MaxDelayedOps must be >= 1")
+	case t.MaxQueueSize < 2 || t.MaxQueueSize > 1<<10:
+		return errTiming("MaxQueueSize must be in [2, 1024]")
+	}
+	return nil
+}
+
+type errTiming string
+
+func (e errTiming) Error() string { return "timing: " + string(e) }

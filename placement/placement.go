@@ -1,0 +1,144 @@
+// Package placement implements the second of the paper's three page-
+// management modes (§2.4): "If the access pattern is not data
+// dependent, it can be measured during one run of the application and
+// the results of the measurement used to optimally allocate memory in
+// subsequent runs."
+//
+// A profiling run leaves the hardware remote-reference counters
+// populated; Compute turns them into a Plan — per page, the node that
+// referenced it most becomes the new master (migration) and other
+// heavy referencers get replicas — and Apply installs the plan on a
+// fresh machine before its run. Because the simulator is
+// deterministic, page numbering is identical across runs of the same
+// setup code, so the plan transfers directly.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"plus/internal/core"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+)
+
+// Plan is a memory layout derived from a profile.
+type Plan struct {
+	// Migrate maps pages to their new master node (only pages whose
+	// best node differs from the current master appear).
+	Migrate map[memory.VPage]mesh.NodeID
+	// Replicate lists extra copy holders per page.
+	Replicate map[memory.VPage][]mesh.NodeID
+}
+
+// Options tune plan computation.
+type Options struct {
+	// MigrateMinRefs is the minimum remote-reference count before a
+	// page is considered for migration (default 8).
+	MigrateMinRefs uint64
+	// ReplicateFrac in [0,1]: nodes with at least this fraction of the
+	// top node's references get replicas (default 0.5).
+	ReplicateFrac float64
+	// MaxCopies bounds copies per page including the master (default 4
+	// — uncontrolled replication floods the network with updates,
+	// §2.5).
+	MaxCopies int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MigrateMinRefs == 0 {
+		o.MigrateMinRefs = 8
+	}
+	if o.ReplicateFrac == 0 {
+		o.ReplicateFrac = 0.5
+	}
+	if o.MaxCopies == 0 {
+		o.MaxCopies = 4
+	}
+	return o
+}
+
+// Compute builds a Plan from the profiled machine's reference
+// counters.
+func Compute(profiled *core.Machine, opts Options) Plan {
+	opts = opts.withDefaults()
+	prof := profiled.Kernel().RemoteRefProfile()
+	plan := Plan{
+		Migrate:   make(map[memory.VPage]mesh.NodeID),
+		Replicate: make(map[memory.VPage][]mesh.NodeID),
+	}
+	for vp, byNode := range prof {
+		type nc struct {
+			n mesh.NodeID
+			c uint64
+		}
+		var ranked []nc
+		for n, c := range byNode {
+			ranked = append(ranked, nc{n, c})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].c != ranked[j].c {
+				return ranked[i].c > ranked[j].c
+			}
+			return ranked[i].n < ranked[j].n
+		})
+		top := ranked[0]
+		if top.c < opts.MigrateMinRefs {
+			continue
+		}
+		master := profiled.Kernel().CopyList(vp)[0].Node
+		if top.n != master {
+			plan.Migrate[vp] = top.n
+		}
+		copies := 1
+		for _, r := range ranked[1:] {
+			if copies+1 >= opts.MaxCopies {
+				break
+			}
+			if float64(r.c) < opts.ReplicateFrac*float64(top.c) {
+				break
+			}
+			plan.Replicate[vp] = append(plan.Replicate[vp], r.n)
+			copies++
+		}
+	}
+	return plan
+}
+
+// Apply installs the plan on a fresh machine before its run: masters
+// migrate to their heaviest users and replicas appear where the
+// profile says they pay. Must be called before Machine.Run (the
+// machine is quiescent).
+func Apply(m *core.Machine, plan Plan) error {
+	for vp, dst := range plan.Migrate {
+		list := m.Kernel().CopyList(vp)
+		if len(list) == 0 {
+			return fmt.Errorf("placement: plan references unallocated page %d", vp)
+		}
+		from := list[0].Node
+		if from != dst && !m.Kernel().HasCopy(vp, dst) {
+			m.Kernel().Migrate(vp, from, dst)
+		}
+	}
+	for vp, nodes := range plan.Replicate {
+		if len(m.Kernel().CopyList(vp)) == 0 {
+			return fmt.Errorf("placement: plan references unallocated page %d", vp)
+		}
+		for _, n := range nodes {
+			m.Kernel().ReplicateNow(vp, n)
+		}
+	}
+	return nil
+}
+
+// Pages returns how many pages the plan touches.
+func (p Plan) Pages() int {
+	touched := make(map[memory.VPage]bool)
+	for vp := range p.Migrate {
+		touched[vp] = true
+	}
+	for vp := range p.Replicate {
+		touched[vp] = true
+	}
+	return len(touched)
+}

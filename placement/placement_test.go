@@ -1,0 +1,116 @@
+package placement
+
+import (
+	"testing"
+
+	"plus/internal/core"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/proc"
+)
+
+// buildRun constructs the same machine and workload twice: a data page
+// homed badly (node 7) but used intensely by nodes 0 and 1.
+func buildRun(t *testing.T) (*core.Machine, memory.VAddr) {
+	t.Helper()
+	m, err := core.NewMachine(core.DefaultConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Alloc(7, 1)
+	for _, n := range []mesh.NodeID{0, 1} {
+		n := n
+		m.Spawn(n, func(th *proc.Thread) {
+			for i := 0; i < 100; i++ {
+				th.Read(data + memory.VAddr(i%64))
+				th.Compute(50)
+			}
+		})
+	}
+	return m, data
+}
+
+func TestProfileGuidedPlacementSpeedsSecondRun(t *testing.T) {
+	// Run 1: measure.
+	m1, data := buildRun(t)
+	e1, err := m1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Compute(m1, Options{})
+	if plan.Pages() == 0 {
+		t.Fatal("profile produced an empty plan")
+	}
+	// The heaviest referencer (node 0 or 1) must become the master.
+	if dst, ok := plan.Migrate[data.Page()]; !ok || (dst != 0 && dst != 1) {
+		t.Fatalf("plan.Migrate = %v", plan.Migrate)
+	}
+
+	// Run 2: identical setup, plan applied before the run.
+	m2, _ := buildRun(t)
+	if err := Apply(m2, plan); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= e1 {
+		t.Fatalf("profile-guided run (%d) not faster than first run (%d)", e2, e1)
+	}
+	// The second run's reads are local for the new master holder.
+	tot := m2.Stats().Totals()
+	if tot.RemoteReads >= m1.Stats().Totals().RemoteReads {
+		t.Fatalf("remote reads did not drop: %d -> %d",
+			m1.Stats().Totals().RemoteReads, tot.RemoteReads)
+	}
+}
+
+func TestComputeThresholds(t *testing.T) {
+	m, _ := buildRun(t)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A sky-high migration threshold yields an empty plan.
+	plan := Compute(m, Options{MigrateMinRefs: 1 << 40})
+	if plan.Pages() != 0 {
+		t.Fatalf("plan not empty: %v", plan.Migrate)
+	}
+}
+
+func TestComputeReplicasBounded(t *testing.T) {
+	// Every node reads the same page equally: replicas capped by
+	// MaxCopies.
+	m, err := core.NewMachine(core.DefaultConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Alloc(7, 1)
+	for n := 0; n < 7; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			for i := 0; i < 40; i++ {
+				th.Read(data)
+				th.Compute(30)
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	plan := Compute(m, Options{MaxCopies: 3})
+	if got := len(plan.Replicate[data.Page()]); got > 2 {
+		t.Fatalf("replicas = %d, exceeds MaxCopies-1", got)
+	}
+}
+
+func TestApplyRejectsUnknownPage(t *testing.T) {
+	m, err := core.NewMachine(core.DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{Migrate: map[memory.VPage]mesh.NodeID{99: 1}}
+	if err := Apply(m, plan); err == nil {
+		t.Fatal("unknown page accepted")
+	}
+}

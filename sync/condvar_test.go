@@ -1,0 +1,134 @@
+package psync
+
+import (
+	"testing"
+
+	"plus/internal/mesh"
+	"plus/internal/proc"
+	"plus/internal/sim"
+)
+
+func TestCondSignalWakesOne(t *testing.T) {
+	m := newMachine(t, 4, 1)
+	l := NewQueueLock(m, 0)
+	c := NewCond(m, 0)
+	ready := m.Alloc(0, 1)
+	woken := 0
+	for n := 1; n < 4; n++ {
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			l.Lock(th)
+			for th.Read(ready) == 0 {
+				c.Wait(th, l)
+			}
+			woken++
+			th.Write(ready, 0) // consume the token
+			th.Fence()
+			l.Unlock(th)
+		})
+	}
+	m.Spawn(0, func(th *proc.Thread) {
+		for i := 0; i < 3; i++ {
+			th.Compute(5000)
+			l.Lock(th)
+			th.Write(ready, 1)
+			th.Fence()
+			c.Signal(th)
+			l.Unlock(th)
+			// Wait for the consumer before producing again.
+			for {
+				l.Lock(th)
+				v := th.Read(ready)
+				l.Unlock(th)
+				if v == 0 {
+					break
+				}
+				th.Compute(500)
+			}
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	m := newMachine(t, 4, 1)
+	l := NewQueueLock(m, 0)
+	c := NewCond(m, 0)
+	gate := m.Alloc(0, 1)
+	passed := 0
+	for n := 1; n < 4; n++ {
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			l.Lock(th)
+			for th.Read(gate) == 0 {
+				c.Wait(th, l)
+			}
+			passed++
+			l.Unlock(th)
+		})
+	}
+	m.Spawn(0, func(th *proc.Thread) {
+		th.Compute(20000) // let everyone park
+		l.Lock(th)
+		th.Write(gate, 1)
+		th.Fence()
+		c.Broadcast(th)
+		l.Unlock(th)
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 3 {
+		t.Fatalf("passed = %d, want 3", passed)
+	}
+}
+
+func TestCondSignalWithoutWaitersHarmless(t *testing.T) {
+	m := newMachine(t, 2, 1)
+	l := NewQueueLock(m, 0)
+	c := NewCond(m, 0)
+	m.Spawn(0, func(th *proc.Thread) {
+		l.Lock(th)
+		c.Signal(th)
+		c.Broadcast(th)
+		l.Unlock(th)
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	m := newMachine(t, 4, 1)
+	o := NewOnce(m, 0)
+	data := m.Alloc(0, 1)
+	m.Replicate(data, 1, 2, 3)
+	runs := 0
+	sawInit := 0
+	for n := 0; n < 4; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			th.Compute(sim.Cycles(100 * n)) // staggered arrival
+			o.Do(th, func(th *proc.Thread) {
+				runs++
+				th.Write(data, 77)
+			})
+			// Every thread must observe the initialization after Do.
+			if th.Read(data) == 77 {
+				sawInit++
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("init ran %d times", runs)
+	}
+	if sawInit != 4 {
+		t.Fatalf("%d of 4 threads saw the init", sawInit)
+	}
+}

@@ -1,0 +1,305 @@
+package psync
+
+import (
+	"testing"
+
+	"plus/internal/core"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/proc"
+	"plus/internal/sim"
+)
+
+func newMachine(t *testing.T, w, h int) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine(core.DefaultConfig(w, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// raceyIncrement exercises mutual exclusion: read / compute / write is
+// only correct if the lock serializes the critical sections and the
+// unlock publishes the write before handoff.
+func raceyIncrement(t *proc.Thread, x memory.VAddr) {
+	v := t.Read(x)
+	t.Compute(50)
+	t.Write(x, v+1)
+}
+
+func TestQueueLockMutualExclusion(t *testing.T) {
+	m := newMachine(t, 4, 4)
+	l := NewQueueLock(m, 0)
+	x := m.Alloc(5, 1)
+	const perThread = 5
+	for n := 0; n < 16; n++ {
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			for i := 0; i < perThread; i++ {
+				l.Lock(th)
+				raceyIncrement(th, x)
+				l.Unlock(th)
+				th.Compute(100)
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(x); got != 16*perThread {
+		t.Fatalf("counter = %d, want %d (lost update ⇒ broken lock)", got, 16*perThread)
+	}
+}
+
+func TestQueueLockWaitersSleepNotSpin(t *testing.T) {
+	m := newMachine(t, 2, 1)
+	l := NewQueueLock(m, 0)
+	x := m.Alloc(0, 1)
+	// Thread A holds the lock for a long compute; thread B must sleep,
+	// not burn busy cycles.
+	m.Spawn(0, func(th *proc.Thread) {
+		l.Lock(th)
+		th.Compute(100000)
+		raceyIncrement(th, x)
+		l.Unlock(th)
+	})
+	m.Spawn(1, func(th *proc.Thread) {
+		th.Compute(1000) // let A acquire first
+		l.Lock(th)
+		raceyIncrement(th, x)
+		l.Unlock(th)
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Peek(x) != 2 {
+		t.Fatalf("counter = %d", m.Peek(x))
+	}
+	// Node 1 was mostly asleep: its busy cycles must be a small
+	// fraction of the elapsed time.
+	busy := m.Stats().Nodes[1].BusyCycles
+	if float64(busy) > 0.2*float64(m.Elapsed()) {
+		t.Fatalf("waiter burned %d of %d cycles — it spun instead of sleeping", busy, m.Elapsed())
+	}
+}
+
+func TestQueueLockFIFOHandoff(t *testing.T) {
+	// Waiters are woken in the order they enqueued.
+	m := newMachine(t, 4, 1)
+	l := NewQueueLock(m, 0)
+	var order []int
+	m.Spawn(0, func(th *proc.Thread) {
+		l.Lock(th)
+		th.Compute(50000) // hold long enough for all waiters to queue
+		order = append(order, 0)
+		l.Unlock(th)
+	})
+	for n := 1; n < 4; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			th.Compute(sim.Cycles(n) * 1000) // stagger arrival: 1, 2, 3
+			l.Lock(th)
+			order = append(order, n)
+			l.Unlock(th)
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("handoff order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	m := newMachine(t, 2, 2)
+	l := NewSpinLock(m, 0)
+	m.Replicate(l.Addr(), 1, 2, 3) // spin on local copies
+	x := m.Alloc(3, 1)
+	const perThread = 5
+	for n := 0; n < 4; n++ {
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			for i := 0; i < perThread; i++ {
+				l.Lock(th)
+				raceyIncrement(th, x)
+				l.Unlock(th)
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(x); got != 4*perThread {
+		t.Fatalf("counter = %d, want %d", got, 4*perThread)
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	m := newMachine(t, 4, 1)
+	b := NewBarrier(m, 0, 4)
+	m.Replicate(b.GenAddr(), 1, 2, 3)
+	const phases = 5
+	counts := make([][]int, phases)
+	for n := 0; n < 4; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			for p := 0; p < phases; p++ {
+				th.Compute(sim.Cycles(100 * (n + 1))) // skewed arrival
+				counts[p] = append(counts[p], n)
+				b.Wait(th)
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < phases; p++ {
+		if len(counts[p]) != 4 {
+			t.Fatalf("phase %d saw %d arrivals", p, len(counts[p]))
+		}
+	}
+}
+
+func TestBarrierNoEarlyRelease(t *testing.T) {
+	// A thread must never pass the barrier before all have arrived:
+	// track a shared phase variable.
+	m := newMachine(t, 4, 1)
+	b := NewBarrier(m, 0, 4)
+	arrived := 0
+	violated := false
+	for n := 0; n < 4; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			th.Compute(sim.Cycles(1000 * (n + 1)))
+			arrived++
+			b.Wait(th)
+			if arrived != 4 {
+				violated = true
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("a thread passed the barrier before all arrived")
+	}
+}
+
+func TestSemaphoreProducerConsumer(t *testing.T) {
+	m := newMachine(t, 2, 2)
+	full := NewSemaphore(m, 0, 0)
+	empty := NewSemaphore(m, 0, 4) // buffer capacity 4
+	buf := m.Alloc(1, 1)
+	const items = 12
+	var got []memory.Word
+	head, tail := 0, 0
+	m.Spawn(0, func(th *proc.Thread) { // producer
+		for i := 0; i < items; i++ {
+			empty.P(th)
+			th.Write(buf+memory.VAddr(tail%4), memory.Word(100+i))
+			tail++
+			full.V(th)
+		}
+	})
+	m.Spawn(3, func(th *proc.Thread) { // consumer
+		for i := 0; i < items; i++ {
+			full.P(th)
+			got = append(got, th.Read(buf+memory.VAddr(head%4)))
+			head++
+			empty.V(th)
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != items {
+		t.Fatalf("consumed %d items", len(got))
+	}
+	for i, v := range got {
+		if v != memory.Word(100+i) {
+			t.Fatalf("item %d = %d (reordered or stale)", i, v)
+		}
+	}
+}
+
+func TestSemaphoreInitialCount(t *testing.T) {
+	m := newMachine(t, 2, 1)
+	s := NewSemaphore(m, 0, 2)
+	passed := 0
+	for n := 0; n < 2; n++ {
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			s.P(th)
+			passed++
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 2 {
+		t.Fatalf("passed = %d, want 2 (initial count)", passed)
+	}
+}
+
+func TestEagerIndexUniqueAndPipelined(t *testing.T) {
+	m := newMachine(t, 2, 2)
+	e := NewEagerIndex(m, 3)
+	seen := make(map[memory.Word]bool)
+	const perThread = 10
+	for n := 0; n < 4; n++ {
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			s := e.Session()
+			for i := 0; i < perThread; i++ {
+				v := s.Next(th)
+				if seen[v] {
+					t.Errorf("index %d handed out twice", v)
+				}
+				seen[v] = true
+				th.Compute(200)
+			}
+			s.Close(th)
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4*perThread {
+		t.Fatalf("got %d unique indices, want %d", len(seen), 4*perThread)
+	}
+}
+
+func TestEagerIndexHidesLatency(t *testing.T) {
+	// Compared with blocking fadd allocation, the eager session should
+	// be faster when computation separates allocations.
+	run := func(eager bool) uint64 {
+		m := newMachine(t, 2, 1)
+		e := NewEagerIndex(m, 1) // counter remote from thread's node 0
+		m.Spawn(0, func(th *proc.Thread) {
+			s := e.Session()
+			for i := 0; i < 50; i++ {
+				if eager {
+					s.Next(th)
+				} else {
+					th.FaddSync(e.ctr, 1)
+				}
+				th.Compute(150) // enough work to hide the round trip
+			}
+			if eager {
+				s.Close(th)
+			}
+		})
+		el, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(el)
+	}
+	blocking := run(false)
+	eager := run(true)
+	if eager >= blocking {
+		t.Fatalf("eager allocation (%d) not faster than blocking (%d)", eager, blocking)
+	}
+}

