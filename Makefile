@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt experiments experiments-quick golden examples clean
+.PHONY: all check build test bench vet fmt lint experiments experiments-quick golden examples clean
 
-all: build test
+all: check
+
+# The default gate: everything a PR must keep green.
+check: build test lint
 
 build:
 	$(GO) build ./...
@@ -24,6 +27,12 @@ vet:
 
 fmt:
 	gofmt -l .
+
+# Lint fails on any vet finding or unformatted file.
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Regenerate every table and figure of the paper at full size.
 experiments:

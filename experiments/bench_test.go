@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// BenchmarkFigure21Quick times the Figure 2-1 quick regeneration — the
+// end-to-end hot path of the whole simulator (engine, mesh, coherence,
+// kernel, workload) — with allocation reporting. This is the benchmark
+// the event/message-plumbing refactor is measured against.
+func BenchmarkFigure21Quick(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure21(Fig21Config{Quick: true, MaxProcs: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable21Quick times the Table 2-1 quick regeneration (the
+// replication sweep used by the golden and determinism tests).
+func BenchmarkTable21Quick(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table21(Table21Config{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,12 @@
 //     atomically, and the old value returns to the originator's
 //     delayed-operations cache (8 entries); modifications propagate
 //     down the copy-list like writes.
+//
+// Message plumbing: every protocol hop travels in a pooled mesh.Msg.
+// A request that must be forwarded (write/RMW toward the master, an
+// update down the copy-list) reuses the message in hand — the protocol
+// allocates at most one pooled message per operation leg, and the
+// final consumer recycles it to the mesh free-list.
 package coherence
 
 import (
@@ -32,11 +38,42 @@ import (
 	"plus/internal/timing"
 )
 
+// CM event kinds (sim.EventSink dispatch). The CM schedules its own
+// timers — per-hop processing delay, RMW execution, page-copy
+// completion, local read latency — as typed events carrying the pooled
+// message (or a pooled readDone), so the protocol's timer path
+// allocates nothing.
+const (
+	// ckProcess: a network message begins handling after the CM's
+	// per-hop processing time. data is the *mesh.Msg.
+	ckProcess = iota
+	// ckSend: a pre-staged message (Dst already set) enters the
+	// network after a processor-side overhead. data is the *mesh.Msg.
+	ckSend
+	// ckExec: the master executes a delayed operation after its
+	// documented execution time. data is the kRMWReq *mesh.Msg.
+	ckExec
+	// ckPageDone: the page-copy engine signals completion. data is the
+	// kPageCopy *mesh.Msg.
+	ckPageDone
+	// ckReadDone: a local read completes after the cache/memory
+	// latency. data is a pooled *readDone.
+	ckReadDone
+)
+
+// readDone is a pooled local-read completion: the value and the
+// processor-side callback it is delivered to.
+type readDone struct {
+	fn func(memory.Word)
+	v  memory.Word
+}
+
 // CM is one node's memory-coherence manager. It is driven entirely
 // from the simulation engine's single logical thread: processor-side
-// calls happen inside a coroutine slice, network messages arrive as
-// engine events. Completion callbacks may fire synchronously (when the
-// operation completes without waiting) or from a later engine event.
+// calls happen inside a coroutine slice, network messages arrive
+// through the mesh Port interface, timers fire as typed engine events.
+// Completion callbacks may fire synchronously (when the operation
+// completes without waiting) or from a later engine event.
 type CM struct {
 	self mesh.NodeID
 	eng  *sim.Engine
@@ -69,6 +106,9 @@ type CM struct {
 	// Outstanding remote blocking reads.
 	readWaiters map[uint64]func(memory.Word)
 
+	// rdFree recycles local-read completions.
+	rdFree []*readDone
+
 	// Write-invalidate ablation mode (see invalidate.go). Real PLUS is
 	// write-update; this exists to measure the §2.2 claim.
 	invalidateMode bool
@@ -83,7 +123,7 @@ type dslot struct {
 }
 
 // New wires a coherence manager to its node's memory, cache and the
-// mesh. It attaches itself as the node's message handler.
+// mesh. It attaches itself as the node's message port.
 func New(self mesh.NodeID, eng *sim.Engine, net *mesh.Mesh, mem *memory.Memory, ca *cache.Cache, tm timing.Timing, st *stats.Machine) *CM {
 	cm := &CM{
 		self:         self,
@@ -102,7 +142,7 @@ func New(self mesh.NodeID, eng *sim.Engine, net *mesh.Mesh, mem *memory.Memory, 
 		slots:        make([]dslot, tm.MaxDelayedOps),
 		readWaiters:  make(map[uint64]func(memory.Word)),
 	}
-	net.Attach(self, cm.handle)
+	net.Attach(self, cm)
 	return cm
 }
 
@@ -111,6 +151,16 @@ func (cm *CM) Self() mesh.NodeID { return cm.self }
 
 // node returns this node's stats block.
 func (cm *CM) node() *stats.Node { return &cm.st.Nodes[cm.self] }
+
+// newMsg draws a cleared message from the mesh free-list.
+func (cm *CM) newMsg(kind uint8, origin mesh.NodeID, id uint64) *mesh.Msg {
+	m := cm.net.AllocMsg()
+	m.Kind, m.Origin, m.ID = kind, origin, id
+	return m
+}
+
+// freeMsg recycles a consumed message.
+func (cm *CM) freeMsg(m *mesh.Msg) { cm.net.FreeMsg(m) }
 
 // --- Kernel-side table maintenance -----------------------------------
 
@@ -180,20 +230,35 @@ func (cm *CM) BusySlots() int {
 // synchronously, so the calling coroutine can park unconditionally
 // after issuing.
 func (cm *CM) Read(g GAddr, done func(memory.Word)) {
-	cm.startRead(g, done)
+	cm.startRead(g, done, false)
 }
 
-func (cm *CM) startRead(g GAddr, done func(memory.Word)) {
+// ReadFast is Read with a synchronous fast path for the calling
+// coroutine: when mayFast is true (the caller's processor has no other
+// runnable thread that the event path would dispatch during the wait)
+// and the read is served locally with no other event due within its
+// latency, the clock advances directly and the value returns in place
+// — skipping the completion event and the park/resume handoff while
+// producing the identical schedule. Otherwise it behaves exactly like
+// Read and the caller must park until done fires; the returned cost is
+// meaningful only when ok is true.
+func (cm *CM) ReadFast(g GAddr, done func(memory.Word), mayFast bool) (v memory.Word, cost sim.Cycles, ok bool) {
+	return cm.startRead(g, done, mayFast)
+}
+
+func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.Word, sim.Cycles, bool) {
 	// Reading a location that is currently being written blocks until
-	// the write completes (intra-processor strong ordering, §2.3).
+	// the write completes (intra-processor strong ordering, §2.3). The
+	// retry fires from event context with the reader parked, so it must
+	// take the event path.
 	if cm.pendingAddrs[g] > 0 {
-		cm.readRetry[g] = append(cm.readRetry[g], func() { cm.startRead(g, done) })
-		return
+		cm.readRetry[g] = append(cm.readRetry[g], func() { cm.startRead(g, done, false) })
+		return 0, 0, false
 	}
 	if g.Node == cm.self {
 		if cm.invalidateMode && cm.isInvalid(g.Page, g.Off) {
 			cm.readInvalidated(g, done)
-			return
+			return 0, 0, false
 		}
 		cost := cm.ca.Read(g.Page, g.Off)
 		v := cm.mem.Read(g.Page, g.Off)
@@ -203,11 +268,16 @@ func (cm *CM) startRead(g GAddr, done func(memory.Word)) {
 		} else {
 			cm.node().CacheMisses++
 		}
-		cm.eng.Schedule(cost, func() { done(v) })
-		return
+		if mayFast && cm.eng.AdvanceIf(cost) {
+			return v, cost, true
+		}
+		cm.scheduleReadDone(cost, done, v)
+		return 0, 0, false
 	}
 	cm.node().RemoteReads++
-	cm.st.Emit(int(cm.self), "read", "remote %v", g)
+	if cm.st.TraceEnabled() {
+		cm.st.Emit(int(cm.self), "read", "remote %v", g)
+	}
 	id := cm.nextID
 	cm.nextID++
 	cm.readWaiters[id] = done
@@ -215,9 +285,25 @@ func (cm *CM) startRead(g GAddr, done func(memory.Word)) {
 	// for a remote blocking read; the 32 cycles are the processor and
 	// interface overhead, charged here before the request enters the
 	// network. The serving CM adds its processing time on arrival.
-	cm.eng.Schedule(cm.tm.RemoteReadOverhead, func() {
-		cm.send(g.Node, &msg{kind: kReadReq, origin: cm.self, id: id, page: g.Page, off: g.Off})
-	})
+	m := cm.newMsg(kReadReq, cm.self, id)
+	m.Page, m.Off = g.Page, g.Off
+	m.Dst = g.Node
+	cm.eng.ScheduleEvent(cm.tm.RemoteReadOverhead, cm, ckSend, m)
+	return 0, 0, false
+}
+
+// scheduleReadDone delivers a local read's value through a pooled
+// completion event after the modeled latency.
+func (cm *CM) scheduleReadDone(delay sim.Cycles, fn func(memory.Word), v memory.Word) {
+	var rd *readDone
+	if n := len(cm.rdFree); n > 0 {
+		rd = cm.rdFree[n-1]
+		cm.rdFree = cm.rdFree[:n-1]
+	} else {
+		rd = &readDone{}
+	}
+	rd.fn, rd.v = fn, v
+	cm.eng.ScheduleEvent(delay, cm, ckReadDone, rd)
 }
 
 // Write issues a non-blocking write. accepted is called as soon as a
@@ -232,7 +318,11 @@ func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
 	}
 	id := cm.allocPending(g)
 	accepted()
-	cm.st.Emit(int(cm.self), "write", "%v <- %#x (pending %d)", g, v, id)
+	if cm.st.TraceEnabled() {
+		cm.st.Emit(int(cm.self), "write", "%v <- %#x (pending %d)", g, v, id)
+	}
+	m := cm.newMsg(kWriteReq, cm.self, id)
+	m.Page, m.Off, m.Val = g.Page, g.Off, v
 	if g.Node == cm.self {
 		// A write counts as local only when it completes entirely in
 		// local memory: the master copy is here and the page has no
@@ -244,11 +334,11 @@ func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
 		} else {
 			cm.node().RemoteWrites++
 		}
-		cm.arriveWrite(g.Page, g.Off, v, cm.self, id)
+		cm.arriveWrite(m)
 		return
 	}
 	cm.node().RemoteWrites++
-	cm.send(g.Node, &msg{kind: kWriteReq, origin: cm.self, id: id, page: g.Page, off: g.Off, val: v})
+	cm.send(g.Node, m)
 }
 
 // Fence blocks until every earlier write by this node has completed
@@ -306,12 +396,18 @@ func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
 		n.RemoteWrites++
 	}
 	issued(slot)
-	cm.st.Emit(int(cm.self), "rmw", "%v %v operand=%#x slot=%d", op, g, operand, slot)
+	if cm.st.TraceEnabled() {
+		cm.st.Emit(int(cm.self), "rmw", "%v %v operand=%#x slot=%d", op, g, operand, slot)
+	}
+	m := cm.newMsg(kRMWReq, cm.self, uint64(slot))
+	m.Pid = pid
+	m.Op = uint8(op)
+	m.Page, m.Off, m.Val = g.Page, g.Off, operand
 	if g.Node == cm.self {
-		cm.arriveRMW(op, g.Page, g.Off, operand, cm.self, uint64(slot), pid)
+		cm.arriveRMW(m)
 		return
 	}
-	cm.send(g.Node, &msg{kind: kRMWReq, origin: cm.self, id: uint64(slot), pid: pid, op: op, page: g.Page, off: g.Off, val: operand})
+	cm.send(g.Node, m)
 }
 
 // Verify retrieves a delayed operation's result, blocking until it is
@@ -358,9 +454,11 @@ func (cm *CM) PageCopy(src memory.PPage, dst memory.GPage, done func()) {
 	if dst.Node == cm.self {
 		panic("coherence: PageCopy to self")
 	}
-	data := make([]memory.Word, memory.PageWords)
-	copy(data, cm.mem.Page(src))
-	cm.send(dst.Node, &msg{kind: kPageCopy, origin: cm.self, page: dst.Page, data: data, done: done})
+	m := cm.newMsg(kPageCopy, cm.self, 0)
+	m.Page = dst.Page
+	m.Data = append(m.Data[:0], cm.mem.Page(src)...)
+	m.Done = done
+	cm.send(dst.Node, m)
 }
 
 // --- Internal machinery ------------------------------------------------
@@ -435,7 +533,8 @@ func (cm *CM) finishWrite(id uint64) {
 	}
 }
 
-// complete delivers a write/RMW completion to its originator.
+// complete delivers a write/RMW completion to its originator when no
+// message is in hand (the update path reuses its message instead).
 func (cm *CM) complete(origin mesh.NodeID, id uint64) {
 	if id == 0 {
 		return // operation carried no pending-writes entry
@@ -444,7 +543,7 @@ func (cm *CM) complete(origin mesh.NodeID, id uint64) {
 		cm.finishWrite(id)
 		return
 	}
-	cm.send(origin, &msg{kind: kAck, origin: origin, id: id})
+	cm.send(origin, cm.newMsg(kAck, origin, id))
 }
 
 // applyWrites performs committed word writes on a local frame and
@@ -456,78 +555,108 @@ func (cm *CM) applyWrites(frame memory.PPage, ws []wordWrite) {
 	}
 }
 
-// arriveWrite handles a write that has reached this node (from the
+// arriveWrite handles a kWriteReq that has reached this node (from the
 // local processor or the network): perform it here if this node holds
-// the master copy, otherwise forward it to the master.
-func (cm *CM) arriveWrite(frame memory.PPage, off uint32, v memory.Word, origin mesh.NodeID, id uint64) {
-	m, ok := cm.master[frame]
+// the master copy, otherwise forward the message to the master.
+func (cm *CM) arriveWrite(m *mesh.Msg) {
+	mg, ok := cm.master[m.Page]
 	if !ok {
-		panic(fmt.Sprintf("coherence: write to uninstalled frame %d on node %d", frame, cm.self))
+		panic(fmt.Sprintf("coherence: write to uninstalled frame %d on node %d", m.Page, cm.self))
 	}
-	if m.Node != cm.self {
-		cm.send(m.Node, &msg{kind: kWriteReq, origin: origin, id: id, page: m.Page, off: off, val: v})
+	if mg.Node != cm.self {
+		m.Page = mg.Page
+		cm.send(mg.Node, m)
 		return
 	}
-	ws := []wordWrite{{off, v}}
-	cm.applyWrites(m.Page, ws)
-	cm.propagate(m.Page, ws, origin, id)
+	// Master local: commit the write and convert the request in place
+	// into the update that walks the copy-list.
+	m.Writes = append(m.Writes[:0], wordWrite{Off: m.Off, Val: m.Val})
+	cm.applyWrites(mg.Page, m.Writes)
+	cm.propagate(mg.Page, m)
 }
 
 // propagate continues a committed modification down the copy-list, or
-// completes the operation if this copy is the last.
-func (cm *CM) propagate(frame memory.PPage, ws []wordWrite, origin mesh.NodeID, id uint64) {
+// completes the operation if this copy is the last. It consumes m:
+// either forwarding it as the next kUpdate hop, returning it to the
+// originator as the kAck, or recycling it.
+func (cm *CM) propagate(frame memory.PPage, m *mesh.Msg) {
 	nxt, ok := cm.next[frame]
 	if !ok {
 		panic(fmt.Sprintf("coherence: no next-copy entry for frame %d on node %d", frame, cm.self))
 	}
-	if nxt.IsNil() {
-		cm.complete(origin, id)
+	if !nxt.IsNil() {
+		m.Kind = kUpdate
+		m.Page = nxt.Page
+		cm.send(nxt.Node, m)
 		return
 	}
-	cm.send(nxt.Node, &msg{kind: kUpdate, origin: origin, id: id, page: nxt.Page, writes: ws})
+	// Last copy: acknowledge the originator.
+	if m.ID == 0 {
+		cm.freeMsg(m) // operation carried no pending-writes entry
+		return
+	}
+	if m.Origin == cm.self {
+		id := m.ID
+		cm.freeMsg(m)
+		cm.finishWrite(id)
+		return
+	}
+	m.Kind = kAck
+	cm.send(m.Origin, m)
 }
 
-// arriveRMW handles a delayed operation that has reached this node:
-// execute if master is local, else forward toward the master. slotID
-// identifies the originator's delayed-op cache slot; pid its
-// pending-writes entry (0 for delayed-read).
-func (cm *CM) arriveRMW(op Op, frame memory.PPage, off uint32, operand memory.Word, origin mesh.NodeID, slotID, pid uint64) {
-	m, ok := cm.master[frame]
+// arriveRMW handles a kRMWReq that has reached this node: execute if
+// the master is local, else forward the message toward the master.
+func (cm *CM) arriveRMW(m *mesh.Msg) {
+	mg, ok := cm.master[m.Page]
 	if !ok {
-		panic(fmt.Sprintf("coherence: RMW to uninstalled frame %d on node %d", frame, cm.self))
+		panic(fmt.Sprintf("coherence: RMW to uninstalled frame %d on node %d", m.Page, cm.self))
 	}
-	if m.Node != cm.self {
-		cm.send(m.Node, &msg{kind: kRMWReq, origin: origin, id: slotID, pid: pid, op: op, page: m.Page, off: off, val: operand})
+	if mg.Node != cm.self {
+		m.Page = mg.Page
+		cm.send(mg.Node, m)
 		return
 	}
 	// Master local: execute atomically after the documented execution
 	// time (Table 3-1: 39 or 52 cycles).
-	cm.eng.Schedule(op.ExecCycles(cm.tm), func() {
-		result, ws := exec(op, cm.mem.Page(m.Page), off, operand, cm.tm.MaxQueueSize)
-		for _, w := range ws {
-			cm.ca.Snoop(m.Page, w.Off)
-		}
-		cm.node().RMWExecuted++
-		nxt := cm.next[m.Page]
-		// The reply completes the operation outright when nothing needs
-		// propagating (no modification, or the master is the only copy).
-		complete := len(ws) == 0 || nxt.IsNil()
-		cm.deliverRMWReply(origin, slotID, pid, result, complete)
-		if len(ws) > 0 && !nxt.IsNil() {
-			cm.send(nxt.Node, &msg{kind: kUpdate, origin: origin, id: pid, page: nxt.Page, writes: ws})
-		}
-	})
+	m.Page = mg.Page
+	cm.eng.ScheduleEvent(Op(m.Op).ExecCycles(cm.tm), cm, ckExec, m)
 }
 
-func (cm *CM) deliverRMWReply(origin mesh.NodeID, slotID, pid uint64, result memory.Word, complete bool) {
+// execRMW is the master-side execution of a delayed operation (fired
+// by ckExec). The reply goes out first, then the modification walks
+// the copy-list in the message in hand; m.ID is the originator's slot,
+// m.Pid its pending-writes entry (0 for delayed-read).
+func (cm *CM) execRMW(m *mesh.Msg) {
+	result, ws := exec(Op(m.Op), cm.mem.Page(m.Page), m.Off, m.Val, cm.tm.MaxQueueSize, m.Writes[:0])
+	m.Writes = ws
+	for _, w := range ws {
+		cm.ca.Snoop(m.Page, w.Off)
+	}
+	cm.node().RMWExecuted++
+	nxt := cm.next[m.Page]
+	// The reply completes the operation outright when nothing needs
+	// propagating (no modification, or the master is the only copy).
+	complete := len(ws) == 0 || nxt.IsNil()
+	origin, slotID, pid := m.Origin, m.ID, m.Pid
 	if origin == cm.self {
 		cm.fillSlot(int(slotID), result)
 		if complete {
 			cm.complete(origin, pid)
 		}
-		return
+	} else {
+		r := cm.newMsg(kRMWReply, origin, slotID)
+		r.Pid, r.Val, r.Complete = pid, result, complete
+		cm.send(origin, r)
 	}
-	cm.send(origin, &msg{kind: kRMWReply, origin: origin, id: slotID, pid: pid, val: result, complete: complete})
+	if len(ws) > 0 && !nxt.IsNil() {
+		m.Kind = kUpdate
+		m.ID = pid
+		m.Page = nxt.Page
+		cm.send(nxt.Node, m)
+	} else {
+		cm.freeMsg(m)
+	}
 }
 
 // fillSlot stores a delayed operation's result and hands it to a
@@ -547,11 +676,11 @@ func (cm *CM) fillSlot(slot int, v memory.Word) {
 }
 
 // send routes a protocol message over the mesh, counting it by type.
-func (cm *CM) send(dst mesh.NodeID, m *msg) {
+func (cm *CM) send(dst mesh.NodeID, m *mesh.Msg) {
 	if dst == cm.self {
-		panic(fmt.Sprintf("coherence: self-send of kind %d on node %d", m.kind, cm.self))
+		panic(fmt.Sprintf("coherence: self-send of kind %d on node %d", m.Kind, cm.self))
 	}
-	switch m.kind {
+	switch m.Kind {
 	case kReadReq:
 		cm.st.MsgRead++
 	case kReadReply:
@@ -569,62 +698,39 @@ func (cm *CM) send(dst mesh.NodeID, m *msg) {
 	case kPageCopy:
 		cm.st.MsgPage++
 	}
-	cm.net.Send(cm.self, dst, m.flits(), m)
+	cm.net.Send(cm.self, dst, flits(m), m)
 }
 
-// handle is the mesh delivery hook: protocol messages arriving at this
-// node. Each incurs the CM's per-hop processing time before acting,
-// except acks and replies, whose handling cost is folded into the
-// originator-side constants.
-func (cm *CM) handle(payload interface{}) {
-	m := payload.(*msg)
-	switch m.kind {
-	case kReadReq:
-		cm.eng.Schedule(cm.tm.CMProcess, func() {
-			if cm.invalidateMode && cm.isInvalid(m.page, m.off) {
-				// Stale replica word: forward the request to the master
-				// rather than serving old data.
-				if mg, ok := cm.master[m.page]; ok && mg.Node != cm.self {
-					cm.send(mg.Node, &msg{kind: kReadReq, origin: m.origin, id: m.id, page: mg.Page, off: m.off})
-					return
-				}
-			}
-			v := cm.mem.Read(m.page, m.off)
-			cm.send(m.origin, &msg{kind: kReadReply, origin: m.origin, id: m.id, val: v})
-		})
+// Deliver implements mesh.Port: protocol messages arriving at this
+// node. Requests incur the CM's per-hop processing time before acting;
+// acks and replies act immediately, their handling cost folded into
+// the originator-side constants.
+func (cm *CM) Deliver(m *mesh.Msg) {
+	switch m.Kind {
+	case kReadReq, kWriteReq, kUpdate, kRMWReq:
+		cm.eng.ScheduleEvent(cm.tm.CMProcess, cm, ckProcess, m)
 	case kReadReply:
-		done, ok := cm.readWaiters[m.id]
+		done, ok := cm.readWaiters[m.ID]
 		if !ok {
-			panic(fmt.Sprintf("coherence: read reply for unknown id %d on node %d", m.id, cm.self))
+			panic(fmt.Sprintf("coherence: read reply for unknown id %d on node %d", m.ID, cm.self))
 		}
-		delete(cm.readWaiters, m.id)
-		done(m.val)
-	case kWriteReq:
-		cm.eng.Schedule(cm.tm.CMProcess, func() {
-			cm.arriveWrite(m.page, m.off, m.val, m.origin, m.id)
-		})
-	case kUpdate:
-		cm.eng.Schedule(cm.tm.CMProcess, func() {
-			cm.st.Emit(int(cm.self), "update", "frame %d, %d word(s) from n%d", m.page, len(m.writes), m.origin)
-			if cm.invalidateMode {
-				cm.applyInvalidations(m.page, m.writes)
-			} else {
-				cm.applyWrites(m.page, m.writes)
-			}
-			cm.node().Updates++
-			cm.propagate(m.page, m.writes, m.origin, m.id)
-		})
+		delete(cm.readWaiters, m.ID)
+		v := m.Val
+		cm.freeMsg(m)
+		done(v)
 	case kAck:
-		cm.st.Emit(int(cm.self), "ack", "write %d complete", m.id)
-		cm.finishWrite(m.id)
-	case kRMWReq:
-		cm.eng.Schedule(cm.tm.CMProcess, func() {
-			cm.arriveRMW(m.op, m.page, m.off, m.val, m.origin, m.id, m.pid)
-		})
+		if cm.st.TraceEnabled() {
+			cm.st.Emit(int(cm.self), "ack", "write %d complete", m.ID)
+		}
+		id := m.ID
+		cm.freeMsg(m)
+		cm.finishWrite(id)
 	case kRMWReply:
-		cm.fillSlot(int(m.id), m.val)
-		if m.complete {
-			cm.complete(cm.self, m.pid)
+		slot, pid, v, complete := int(m.ID), m.Pid, m.Val, m.Complete
+		cm.freeMsg(m)
+		cm.fillSlot(slot, v)
+		if complete {
+			cm.complete(cm.self, pid)
 		}
 	case kPageCopy:
 		// Install the snapshot immediately: delivery is FIFO with the
@@ -632,14 +738,76 @@ func (cm *CM) handle(payload interface{}) {
 		// applying in arrival order keeps the new copy coherent while
 		// writes overlap the copy (§2.4). The copy engine's word time
 		// delays only the completion signal (mapping switch).
-		copy(cm.mem.Page(m.page), m.data)
+		copy(cm.mem.Page(m.Page), m.Data)
 		cm.node().PagesCopied++
-		cm.eng.Schedule(sim.Cycles(memory.PageWords)*cm.tm.PageCopyPerWord, func() {
-			if m.done != nil {
-				m.done()
-			}
-		})
+		cm.eng.ScheduleEvent(sim.Cycles(memory.PageWords)*cm.tm.PageCopyPerWord, cm, ckPageDone, m)
 	default:
-		panic(fmt.Sprintf("coherence: unknown message kind %d", m.kind))
+		panic(fmt.Sprintf("coherence: unknown message kind %d", m.Kind))
+	}
+}
+
+// HandleEvent implements sim.EventSink: the CM's typed timers.
+func (cm *CM) HandleEvent(kind int, data any) {
+	switch kind {
+	case ckProcess:
+		cm.process(data.(*mesh.Msg))
+	case ckSend:
+		m := data.(*mesh.Msg)
+		cm.send(m.Dst, m)
+	case ckExec:
+		cm.execRMW(data.(*mesh.Msg))
+	case ckPageDone:
+		m := data.(*mesh.Msg)
+		done := m.Done
+		cm.freeMsg(m)
+		if done != nil {
+			done()
+		}
+	case ckReadDone:
+		rd := data.(*readDone)
+		fn, v := rd.fn, rd.v
+		rd.fn = nil
+		cm.rdFree = append(cm.rdFree, rd)
+		fn(v)
+	default:
+		panic(fmt.Sprintf("coherence: unknown event kind %d on node %d", kind, cm.self))
+	}
+}
+
+// process handles a request message after the CM's per-hop processing
+// delay.
+func (cm *CM) process(m *mesh.Msg) {
+	switch m.Kind {
+	case kReadReq:
+		if cm.invalidateMode && cm.isInvalid(m.Page, m.Off) {
+			// Stale replica word: forward the request to the master
+			// rather than serving old data.
+			if mg, ok := cm.master[m.Page]; ok && mg.Node != cm.self {
+				m.Page = mg.Page
+				cm.send(mg.Node, m)
+				return
+			}
+		}
+		// Reuse the request as the reply.
+		m.Val = cm.mem.Read(m.Page, m.Off)
+		m.Kind = kReadReply
+		cm.send(m.Origin, m)
+	case kWriteReq:
+		cm.arriveWrite(m)
+	case kUpdate:
+		if cm.st.TraceEnabled() {
+			cm.st.Emit(int(cm.self), "update", "frame %d, %d word(s) from n%d", m.Page, len(m.Writes), m.Origin)
+		}
+		if cm.invalidateMode {
+			cm.applyInvalidations(m.Page, m.Writes)
+		} else {
+			cm.applyWrites(m.Page, m.Writes)
+		}
+		cm.node().Updates++
+		cm.propagate(m.Page, m)
+	case kRMWReq:
+		cm.arriveRMW(m)
+	default:
+		panic(fmt.Sprintf("coherence: unexpected deferred message kind %d", m.Kind))
 	}
 }

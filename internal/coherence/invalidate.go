@@ -71,11 +71,10 @@ func (cm *CM) applyInvalidations(frame memory.PPage, ws []wordWrite) {
 // cost is exactly a remote blocking read — the §2.2 "cost of cache
 // misses" the update protocol avoids.
 func (cm *CM) readInvalidated(g GAddr, done func(memory.Word)) {
-	m, ok := cm.master[g.Page]
-	if !ok || m.Node == cm.self {
+	mg, ok := cm.master[g.Page]
+	if !ok || mg.Node == cm.self {
 		// Master local: nothing can be stale here.
-		v := cm.mem.Read(g.Page, g.Off)
-		cm.eng.Schedule(cm.tm.LocalMemRead, func() { done(v) })
+		cm.scheduleReadDone(cm.tm.LocalMemRead, done, cm.mem.Read(g.Page, g.Off))
 		return
 	}
 	cm.node().RemoteReads++
@@ -86,7 +85,8 @@ func (cm *CM) readInvalidated(g GAddr, done func(memory.Word)) {
 		cm.repair(g.Page, g.Off, v)
 		done(v)
 	}
-	cm.eng.Schedule(cm.tm.RemoteReadOverhead, func() {
-		cm.send(m.Node, &msg{kind: kReadReq, origin: cm.self, id: id, page: m.Page, off: g.Off})
-	})
+	m := cm.newMsg(kReadReq, cm.self, id)
+	m.Page, m.Off = mg.Page, g.Off
+	m.Dst = mg.Node
+	cm.eng.ScheduleEvent(cm.tm.RemoteReadOverhead, cm, ckSend, m)
 }

@@ -1,17 +1,18 @@
 package coherence
 
 import (
-	"plus/internal/memory"
 	"plus/internal/mesh"
 )
 
-// kind enumerates the coherence-protocol message types carried by the
-// mesh.
-type kind int
-
+// Coherence-protocol message kinds, carried in mesh.Msg.Kind. Field
+// usage per kind matches the comments; unused mesh.Msg fields are
+// zero. Messages are pooled: every sender draws from the mesh
+// free-list (or forwards the message in hand) and the final consumer
+// — the originator on ack/reply, the last copy on a completed update
+// — recycles it.
 const (
 	// kReadReq asks the addressed node to read a word of its copy.
-	kReadReq kind = iota
+	kReadReq uint8 = iota
 	// kReadReply returns the word to the requesting processor.
 	kReadReply
 	// kWriteReq carries a write toward the master copy. The addressed
@@ -25,36 +26,25 @@ const (
 	// kRMWReq carries a delayed operation toward the master copy.
 	kRMWReq
 	// kRMWReply returns the old memory contents from the master to the
-	// originator's delayed-operations cache.
+	// originator's delayed-operations cache. Complete marks a reply
+	// that also finishes the operation (the master was the only/last
+	// copy, so no separate ack follows).
 	kRMWReply
 	// kPageCopy carries a whole-page snapshot from a copy-list
 	// predecessor to a newly linked replica.
 	kPageCopy
 )
 
-// msg is the wire format of the coherence protocol. Fields are used
-// per kind; unused fields are zero.
-type msg struct {
-	kind   kind
-	origin mesh.NodeID // requesting node, for replies and acks
-	id     uint64      // origin-local request identifier
-	pid    uint64      // pending-writes entry for RMWs (0 = none)
-	page   memory.PPage
-	off    uint32
-	val    memory.Word // data word or RMW operand
-	op     Op
-	writes []wordWrite   // kUpdate payload
-	data   []memory.Word // kPageCopy payload
-	done   func()        // kPageCopy completion hook (simulation-side)
-	// complete marks a kRMWReply that also completes the operation
-	// (the master was the only/last copy, so no separate ack follows).
-	complete bool
-}
+// wordWrite is one word modified by a write or RMW, propagated down
+// the copy-list verbatim so every copy applies identical values in
+// identical order (general coherence). It aliases the wire type so
+// update payloads travel in the pooled message without copying.
+type wordWrite = mesh.WordWrite
 
 // flits returns the message size in link flits (one flit = one 32-bit
 // word plus routing overhead folded into the base latency).
-func (m *msg) flits() int {
-	switch m.kind {
+func flits(m *mesh.Msg) int {
+	switch m.Kind {
 	case kReadReq:
 		return 2 // address
 	case kReadReply:
@@ -62,7 +52,7 @@ func (m *msg) flits() int {
 	case kWriteReq:
 		return 3 // address + data
 	case kUpdate:
-		return 2 + 2*len(m.writes)
+		return 2 + 2*len(m.Writes)
 	case kAck:
 		return 1
 	case kRMWReq:
@@ -70,7 +60,7 @@ func (m *msg) flits() int {
 	case kRMWReply:
 		return 2
 	case kPageCopy:
-		return 2 + len(m.data)
+		return 2 + len(m.Data)
 	default:
 		return 1
 	}

@@ -86,69 +86,65 @@ func (o Op) ExecCycles(tm timing.Timing) sim.Cycles {
 // IsRead reports whether the operation modifies no memory.
 func (o Op) IsRead() bool { return o == OpDelayedRead }
 
-// wordWrite is one word modified by a write or RMW, propagated down
-// the copy-list verbatim so every copy applies identical values in
-// identical order (general coherence).
-type wordWrite struct {
-	Off uint32
-	Val memory.Word
-}
-
 // exec applies op atomically to the master copy stored in page (the
 // backing slice of the master's frame) and returns the value sent back
 // to the originator plus the word writes to propagate to the other
-// copies. maxQueue is the hardware queue wrap modulus.
-func exec(op Op, page []memory.Word, off uint32, operand memory.Word, maxQueue int) (memory.Word, []wordWrite) {
+// copies. maxQueue is the hardware queue wrap modulus. The writes are
+// appended to buf (typically the pooled message's recycled Writes
+// slice) so the hot path allocates nothing once capacities warm up;
+// operations that modify no memory return buf unchanged (length 0 when
+// the caller passed an empty buffer).
+func exec(op Op, page []memory.Word, off uint32, operand memory.Word, maxQueue int, buf []wordWrite) (memory.Word, []wordWrite) {
 	off &= memory.OffMask
 	old := page[off]
 	switch op {
 	case OpXchng:
 		page[off] = operand
-		return old, []wordWrite{{off, operand}}
+		return old, append(buf, wordWrite{Off: off, Val: operand})
 	case OpCondXchng:
 		if old&memory.TopBit != 0 {
 			page[off] = operand
-			return old, []wordWrite{{off, operand}}
+			return old, append(buf, wordWrite{Off: off, Val: operand})
 		}
-		return old, nil
+		return old, buf
 	case OpFadd:
 		nv := memory.Word(uint32(old) + uint32(operand))
 		page[off] = nv
-		return old, []wordWrite{{off, nv}}
+		return old, append(buf, wordWrite{Off: off, Val: nv})
 	case OpFetchSet:
 		nv := old | memory.TopBit
 		page[off] = nv
-		return old, []wordWrite{{off, nv}}
+		return old, append(buf, wordWrite{Off: off, Val: nv})
 	case OpQueue:
 		tail := uint32(page[off]) % uint32(maxQueue)
 		slot := page[tail]
 		if slot&memory.TopBit != 0 {
-			return slot, nil // queue full: slot still occupied
+			return slot, buf // queue full: slot still occupied
 		}
 		nv := operand | memory.TopBit
 		page[tail] = nv
 		nt := memory.Word((tail + 1) % uint32(maxQueue))
 		page[off] = nt
-		return slot, []wordWrite{{tail, nv}, {off, nt}}
+		return slot, append(buf, wordWrite{Off: tail, Val: nv}, wordWrite{Off: off, Val: nt})
 	case OpDequeue:
 		head := uint32(page[off]) % uint32(maxQueue)
 		slot := page[head]
 		if slot&memory.TopBit == 0 {
-			return slot, nil // queue empty: slot not occupied
+			return slot, buf // queue empty: slot not occupied
 		}
 		nv := slot &^ memory.TopBit
 		page[head] = nv
 		nh := memory.Word((head + 1) % uint32(maxQueue))
 		page[off] = nh
-		return slot, []wordWrite{{head, nv}, {off, nh}}
+		return slot, append(buf, wordWrite{Off: head, Val: nv}, wordWrite{Off: off, Val: nh})
 	case OpMinXchng:
 		if uint32(operand) < uint32(old) {
 			page[off] = operand
-			return old, []wordWrite{{off, operand}}
+			return old, append(buf, wordWrite{Off: off, Val: operand})
 		}
-		return old, nil
+		return old, buf
 	case OpDelayedRead:
-		return old, nil
+		return old, buf
 	default:
 		panic("coherence: unknown op")
 	}

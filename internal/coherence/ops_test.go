@@ -57,8 +57,8 @@ func TestXchngInverseProperty(t *testing.T) {
 		p := freshPage()
 		o := uint32(off) & memory.OffMask
 		p[o] = init
-		old1, _ := exec(OpXchng, p, o, v, 512)
-		old2, _ := exec(OpXchng, p, o, old1, 512)
+		old1, _ := exec(OpXchng, p, o, v, 512, nil)
+		old2, _ := exec(OpXchng, p, o, old1, 512, nil)
 		return old1 == init && old2 == v && p[o] == init
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -71,9 +71,9 @@ func TestFaddAssociativityProperty(t *testing.T) {
 	f := func(init, a, b memory.Word) bool {
 		p1, p2 := freshPage(), freshPage()
 		p1[0], p2[0] = init, init
-		exec(OpFadd, p1, 0, a, 512)
-		exec(OpFadd, p1, 0, b, 512)
-		exec(OpFadd, p2, 0, memory.Word(uint32(a)+uint32(b)), 512)
+		exec(OpFadd, p1, 0, a, 512, nil)
+		exec(OpFadd, p1, 0, b, 512, nil)
+		exec(OpFadd, p2, 0, memory.Word(uint32(a)+uint32(b)), 512, nil)
 		return p1[0] == p2[0]
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -86,7 +86,7 @@ func TestFetchSetProperty(t *testing.T) {
 	f := func(init memory.Word) bool {
 		p := freshPage()
 		p[0] = init
-		old, ws := exec(OpFetchSet, p, 0, 0, 512)
+		old, ws := exec(OpFetchSet, p, 0, 0, 512, nil)
 		if old != init || p[0]&memory.TopBit == 0 {
 			return false
 		}
@@ -94,7 +94,7 @@ func TestFetchSetProperty(t *testing.T) {
 			return false
 		}
 		_ = ws
-		old2, _ := exec(OpFetchSet, p, 0, 0, 512)
+		old2, _ := exec(OpFetchSet, p, 0, 0, 512, nil)
 		return old2&memory.TopBit != 0 && p[0] == init|memory.TopBit
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -110,7 +110,7 @@ func TestMinXchngRunningMinimumProperty(t *testing.T) {
 		min := ^uint32(0)
 		for _, v := range vals {
 			v &= 0x7fffffff
-			exec(OpMinXchng, p, 0, memory.Word(v), 512)
+			exec(OpMinXchng, p, 0, memory.Word(v), 512, nil)
 			if v < min {
 				min = v
 			}
@@ -133,7 +133,7 @@ func TestQueueFIFOProperty(t *testing.T) {
 		next := memory.Word(seed & 0xffff)
 		for _, isEnq := range ops {
 			if isEnq {
-				old, _ := exec(OpQueue, p, tailCtl, next, qsz)
+				old, _ := exec(OpQueue, p, tailCtl, next, qsz, nil)
 				if old&memory.TopBit == 0 { // success
 					model = append(model, next)
 				} else if len(model) != qsz {
@@ -141,7 +141,7 @@ func TestQueueFIFOProperty(t *testing.T) {
 				}
 				next++
 			} else {
-				old, _ := exec(OpDequeue, p, headCtl, 0, qsz)
+				old, _ := exec(OpDequeue, p, headCtl, 0, qsz, nil)
 				if old&memory.TopBit != 0 { // success
 					if len(model) == 0 {
 						return false // dequeued from empty
@@ -169,7 +169,7 @@ func TestDelayedReadPureProperty(t *testing.T) {
 		p := freshPage()
 		o := uint32(off) & memory.OffMask
 		p[o] = init
-		old, ws := exec(OpDelayedRead, p, o, 12345, 512)
+		old, ws := exec(OpDelayedRead, p, o, 12345, 512, nil)
 		return old == init && len(ws) == 0 && p[o] == init
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -191,7 +191,7 @@ func TestWriteVectorReplaysMutationProperty(t *testing.T) {
 		// Queue control words for queue/dequeue.
 		master[512], replica[512] = 1, 1
 		master[513], replica[513] = 1, 1
-		_, ws := exec(op, master, 513, operand, 512)
+		_, ws := exec(op, master, 513, operand, 512, nil)
 		for _, w := range ws {
 			replica[w.Off] = w.Val
 		}
@@ -210,7 +210,7 @@ func TestWriteVectorReplaysMutationProperty(t *testing.T) {
 func TestCondXchngWritesWhenTopBitSet(t *testing.T) {
 	p := freshPage()
 	p[0] = memory.TopBit | 5
-	old, ws := exec(OpCondXchng, p, 0, 9, 512)
+	old, ws := exec(OpCondXchng, p, 0, 9, 512, nil)
 	if old != memory.TopBit|5 {
 		t.Fatalf("old = %#x", old)
 	}

@@ -10,7 +10,7 @@ package memory
 import (
 	"fmt"
 
-	"plus/internal/mesh"
+	"plus/internal/node"
 )
 
 // PageShift and PageWords define the 4 KB page: 2^10 words of 4 bytes.
@@ -52,9 +52,10 @@ func (p VPage) Addr(off uint32) VAddr { return p.Base() + VAddr(off&OffMask) }
 type PPage int32
 
 // GPage is a global physical page address: the <node-id, page-id> pair
-// generated directly by the memory-mapping hardware (§2.3).
+// generated directly by the memory-mapping hardware (§2.3). Node is
+// node.ID, which mesh.NodeID aliases.
 type GPage struct {
-	Node mesh.NodeID
+	Node node.ID
 	Page PPage
 }
 

@@ -21,26 +21,24 @@ func TestFIFOPerSourceDestination(t *testing.T) {
 			cfg.Contention = contention
 			m := New(eng, cfg)
 
-			type rec struct {
-				src NodeID
-				seq int
-			}
-			lastSeen := map[[2]NodeID]int{}
+			// Payload rides the wire struct: Origin is the sender, ID the
+			// per-pair sequence number.
+			lastSeen := map[[2]NodeID]uint64{}
 			for n := NodeID(0); int(n) < m.Nodes(); n++ {
 				n := n
-				m.Attach(n, func(p interface{}) {
-					r := p.(rec)
-					key := [2]NodeID{r.src, n}
-					if r.seq <= lastSeen[key] {
+				m.Attach(n, PortFunc(func(p *Msg) {
+					key := [2]NodeID{p.Origin, n}
+					if p.ID <= lastSeen[key] {
 						t.Fatalf("contention=%v seed %d: pair %v delivered %d after %d",
-							contention, seed, key, r.seq, lastSeen[key])
+							contention, seed, key, p.ID, lastSeen[key])
 					}
-					lastSeen[key] = r.seq
-				})
+					lastSeen[key] = p.ID
+					m.FreeMsg(p)
+				}))
 			}
 			// Random traffic: bursts of different sizes between random
 			// pairs, interleaved with time advancing.
-			seqs := map[[2]NodeID]int{}
+			seqs := map[[2]NodeID]uint64{}
 			for step := 0; step < 200; step++ {
 				src := NodeID(rng.Intn(m.Nodes()))
 				dst := NodeID(rng.Intn(m.Nodes()))
@@ -49,7 +47,9 @@ func TestFIFOPerSourceDestination(t *testing.T) {
 				}
 				key := [2]NodeID{src, dst}
 				seqs[key]++
-				m.Send(src, dst, 1+rng.Intn(16), rec{src: src, seq: seqs[key]})
+				ms := m.AllocMsg()
+				ms.Origin, ms.ID = src, seqs[key]
+				m.Send(src, dst, 1+rng.Intn(16), ms)
 				if rng.Intn(4) == 0 {
 					eng.RunUntil(eng.Now() + sim.Cycles(rng.Intn(20)))
 				}
@@ -67,20 +67,18 @@ func TestContentionNeverSpeedsUp(t *testing.T) {
 	cfg := DefaultConfig(4, 4)
 	cfg.Contention = true
 	m := New(eng, cfg)
-	type stamp struct {
-		sent sim.Cycles
-		src  NodeID
-	}
+	// Origin carries the sender, ID the send timestamp.
 	for n := NodeID(0); int(n) < m.Nodes(); n++ {
 		n := n
-		m.Attach(n, func(p interface{}) {
-			s := p.(stamp)
-			minLat := m.Latency(s.src, n)
-			if eng.Now()-s.sent < minLat {
+		m.Attach(n, PortFunc(func(p *Msg) {
+			sent := sim.Cycles(p.ID)
+			minLat := m.Latency(p.Origin, n)
+			if eng.Now()-sent < minLat {
 				t.Fatalf("message from %d to %d arrived in %d < base %d",
-					s.src, n, eng.Now()-s.sent, minLat)
+					p.Origin, n, eng.Now()-sent, minLat)
 			}
-		})
+			m.FreeMsg(p)
+		}))
 	}
 	for i := 0; i < 300; i++ {
 		src := NodeID(rng.Intn(m.Nodes()))
@@ -88,7 +86,9 @@ func TestContentionNeverSpeedsUp(t *testing.T) {
 		if src == dst {
 			continue
 		}
-		m.Send(src, dst, 1+rng.Intn(8), stamp{sent: eng.Now(), src: src})
+		ms := m.AllocMsg()
+		ms.Origin, ms.ID = src, uint64(eng.Now())
+		m.Send(src, dst, 1+rng.Intn(8), ms)
 		if rng.Intn(3) == 0 {
 			eng.RunUntil(eng.Now() + sim.Cycles(rng.Intn(10)))
 		}

@@ -14,17 +14,25 @@
 // cycles, and messages queue FIFO behind earlier traffic. The paper's
 // experiments ran the network lightly loaded, so contention is off by
 // default; the ablation benches flip it on.
+//
+// Messages are typed: every payload travels in a shared Msg wire
+// struct delivered to a per-node Port, and Msg objects (with their
+// payload slices) are recycled through a free-list, so the message
+// path performs no per-send allocation and no interface boxing.
 package mesh
 
 import (
 	"fmt"
 
+	"plus/internal/memory"
+	"plus/internal/node"
 	"plus/internal/sim"
 )
 
 // NodeID identifies a mesh node; IDs are assigned row-major:
-// id = y*Width + x.
-type NodeID int
+// id = y*Width + x. It aliases node.ID, the leaf type shared with the
+// memory package's global page addresses.
+type NodeID = node.ID
 
 // Config describes the mesh geometry and timing.
 type Config struct {
@@ -55,8 +63,60 @@ func DefaultConfig(width, height int) Config {
 	}
 }
 
-// Handler receives messages delivered to a node.
-type Handler func(payload interface{})
+// WordWrite is one committed word modification carried by an update
+// message and applied identically at every copy (general coherence).
+type WordWrite struct {
+	Off uint32
+	Val memory.Word
+}
+
+// Msg is the shared wire message. The mesh interprets none of the
+// payload fields — Kind and the rest are protocol-defined (see
+// internal/coherence) — it only routes the message to Dst's Port.
+// Fields are used per kind; unused fields are zero.
+type Msg struct {
+	// Kind is the protocol message type.
+	Kind uint8
+	// Op is a protocol operation code (coherence.Op for RMW requests).
+	Op uint8
+	// Complete marks a reply that also completes the operation.
+	Complete bool
+	// Origin is the requesting node, for replies and acks.
+	Origin NodeID
+	// Dst is the destination node; set by Send (or by a sender that
+	// pre-stages the message before scheduling its entry into the
+	// network).
+	Dst NodeID
+	// ID is an origin-local request identifier (or delayed-op slot).
+	ID uint64
+	// Pid is a pending-writes entry for RMWs (0 = none).
+	Pid uint64
+	// Page is the physical frame addressed at the destination.
+	Page memory.PPage
+	// Off is the word offset within the page.
+	Off uint32
+	// Val is a data word or RMW operand.
+	Val memory.Word
+	// Writes is an update payload; its capacity is retained when the
+	// message is recycled.
+	Writes []WordWrite
+	// Data is a page-copy payload; capacity retained across recycling.
+	Data []memory.Word
+	// Done is a simulation-side completion hook (page copy).
+	Done func()
+}
+
+// Port receives messages delivered to a node.
+type Port interface {
+	Deliver(m *Msg)
+}
+
+// PortFunc adapts a plain function to the Port interface, for tests
+// and simple consumers.
+type PortFunc func(*Msg)
+
+// Deliver implements Port.
+func (f PortFunc) Deliver(m *Msg) { f(m) }
 
 // Stats aggregates network activity.
 type Stats struct {
@@ -70,34 +130,70 @@ type Stats struct {
 // use; like every simulated component it runs under the engine's
 // single logical thread.
 type Mesh struct {
-	cfg      Config
-	eng      *sim.Engine
-	handlers []Handler
-	// linkFree[l] is the first cycle at which directed link l is idle.
-	// Indexed by linkIndex. Used only when Contention is on.
+	cfg   Config
+	eng   *sim.Engine
+	ports []Port
+	// linkSlot[from*4+dir] indexes linkFree for the directed link
+	// leaving from in direction dir, or -1 where the mesh edge has no
+	// such link. linkFree has exactly one entry per physical directed
+	// link. Used only when Contention is on.
+	linkSlot []int32
 	linkFree []sim.Cycles
-	stats    Stats
+	// free is the message free-list; AllocMsg/FreeMsg recycle Msg
+	// objects and their payload slices across protocol hops.
+	free  []*Msg
+	stats Stats
 }
 
-// New creates a mesh. Handlers are registered per node with Attach
-// before any traffic is sent.
+// New creates a mesh. Ports are registered per node with Attach before
+// any traffic is sent.
 func New(eng *sim.Engine, cfg Config) *Mesh {
 	if cfg.Width < 1 || cfg.Height < 1 {
 		panic(fmt.Sprintf("mesh: invalid geometry %dx%d", cfg.Width, cfg.Height))
 	}
 	n := cfg.Width * cfg.Height
-	return &Mesh{
+	m := &Mesh{
 		cfg:      cfg,
 		eng:      eng,
-		handlers: make([]Handler, n),
-		// 4 directed links per node is an over-allocation (edge nodes
-		// have fewer) but keeps indexing trivial.
-		linkFree: make([]sim.Cycles, n*4),
+		ports:    make([]Port, n),
+		linkSlot: make([]int32, n*4),
 	}
+	// Assign each existing directed link a dense slot; edge nodes get
+	// exactly their real out-degree, so linkFree holds one entry per
+	// physical link: 2*((W-1)*H + W*(H-1)).
+	next := int32(0)
+	for id := 0; id < n; id++ {
+		x, y := id%cfg.Width, id/cfg.Width
+		for dir := 0; dir < 4; dir++ {
+			exists := false
+			switch dir {
+			case dirEast:
+				exists = x+1 < cfg.Width
+			case dirWest:
+				exists = x > 0
+			case dirNorth:
+				exists = y > 0
+			case dirSouth:
+				exists = y+1 < cfg.Height
+			}
+			if exists {
+				m.linkSlot[id*4+dir] = next
+				next++
+			} else {
+				m.linkSlot[id*4+dir] = -1
+			}
+		}
+	}
+	m.linkFree = make([]sim.Cycles, next)
+	return m
 }
 
 // Nodes returns the number of nodes in the mesh.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// DirectedLinks returns the number of physical directed links modeled
+// by the contention state.
+func (m *Mesh) DirectedLinks() int { return len(m.linkFree) }
 
 // Config returns the mesh configuration.
 func (m *Mesh) Config() Config { return m.cfg }
@@ -105,9 +201,29 @@ func (m *Mesh) Config() Config { return m.cfg }
 // Stats returns a copy of the accumulated network statistics.
 func (m *Mesh) Stats() Stats { return m.stats }
 
-// Attach registers the message handler for node id.
-func (m *Mesh) Attach(id NodeID, h Handler) {
-	m.handlers[id] = h
+// Attach registers the message port for node id.
+func (m *Mesh) Attach(id NodeID, p Port) {
+	m.ports[id] = p
+}
+
+// AllocMsg returns a cleared message from the free-list (or a new one
+// when the list is empty), retaining the capacity of its payload
+// slices. Senders fill it and pass it to Send; the final consumer
+// returns it with FreeMsg.
+func (m *Mesh) AllocMsg() *Msg {
+	if n := len(m.free); n > 0 {
+		ms := m.free[n-1]
+		m.free = m.free[:n-1]
+		return ms
+	}
+	return &Msg{}
+}
+
+// FreeMsg recycles a message onto the free-list. The caller must not
+// retain the message or its slices afterwards.
+func (m *Mesh) FreeMsg(ms *Msg) {
+	*ms = Msg{Writes: ms.Writes[:0], Data: ms.Data[:0]}
+	m.free = append(m.free, ms)
 }
 
 // Coord returns the (x, y) position of a node.
@@ -144,8 +260,15 @@ const (
 	dirSouth
 )
 
+// linkIndex returns the linkFree slot of the directed link leaving
+// from in direction dir. The link must exist (contention walks real
+// paths only); a missing link panics.
 func (m *Mesh) linkIndex(from NodeID, dir int) int {
-	return int(from)*4 + dir
+	slot := m.linkSlot[int(from)*4+dir]
+	if slot < 0 {
+		panic(fmt.Sprintf("mesh: no link from node %d in direction %d", from, dir))
+	}
+	return int(slot)
 }
 
 // Path returns the sequence of nodes visited by dimension-order
@@ -173,17 +296,19 @@ func (m *Mesh) Path(src, dst NodeID) []NodeID {
 	return path
 }
 
-// Send routes a message of size flits from src to dst and schedules
-// the destination handler after the modeled latency. sizeFlits must be
+// Send routes a message of size flits from src to dst and delivers it
+// to the destination port after the modeled latency. sizeFlits must be
 // at least 1 (header flit). Delivery to an unattached node panics.
-func (m *Mesh) Send(src, dst NodeID, sizeFlits int, payload interface{}) {
+// Send allocates nothing: the message rides the engine's typed event
+// path.
+func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 	if sizeFlits < 1 {
 		sizeFlits = 1
 	}
-	h := m.handlers[dst]
-	if h == nil {
+	if m.ports[dst] == nil {
 		panic(fmt.Sprintf("mesh: send to unattached node %d", dst))
 	}
+	ms.Dst = dst
 	hops := m.Hops(src, dst)
 	m.stats.Messages++
 	m.stats.Hops += uint64(hops)
@@ -193,7 +318,14 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, payload interface{}) {
 	if m.cfg.Contention && hops > 0 {
 		lat += m.contend(src, dst, sizeFlits)
 	}
-	m.eng.Schedule(lat, func() { h(payload) })
+	m.eng.ScheduleEvent(lat, m, 0, ms)
+}
+
+// HandleEvent implements sim.EventSink: a message scheduled by Send
+// arrives at its destination port.
+func (m *Mesh) HandleEvent(_ int, data any) {
+	ms := data.(*Msg)
+	m.ports[ms.Dst].Deliver(ms)
 }
 
 // contend reserves each directed link on the path and returns the
@@ -201,39 +333,45 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, payload interface{}) {
 // approximation: the header advances one hop per PerHop cycles once a
 // link frees, and the body occupies each link for sizeFlits*FlitCycles.
 func (m *Mesh) contend(src, dst NodeID, sizeFlits int) sim.Cycles {
-	now := m.eng.Now()
-	path := m.Path(src, dst)
 	occupancy := sim.Cycles(sizeFlits) * m.cfg.FlitCycles
 	var wait sim.Cycles
-	t := now
-	for i := 0; i+1 < len(path); i++ {
-		from, to := path[i], path[i+1]
-		dir := m.dirOf(from, to)
-		li := m.linkIndex(from, dir)
+	t := m.eng.Now()
+	// Walk the dimension-ordered route in place (X first, then Y)
+	// rather than materializing a Path slice per message.
+	x, y := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	for x != dx || y != dy {
+		var dir int
+		switch {
+		case x < dx:
+			dir = dirEast
+		case x > dx:
+			dir = dirWest
+		case y < dy:
+			dir = dirSouth
+		default:
+			dir = dirNorth
+		}
+		li := m.linkIndex(m.ID(x, y), dir)
 		if m.linkFree[li] > t {
 			wait += m.linkFree[li] - t
 			t = m.linkFree[li]
 		}
 		m.linkFree[li] = t + occupancy
 		t += m.cfg.PerHop
+		switch dir {
+		case dirEast:
+			x++
+		case dirWest:
+			x--
+		case dirSouth:
+			y++
+		default:
+			y--
+		}
 	}
 	m.stats.QueueWait += wait
 	return wait
-}
-
-func (m *Mesh) dirOf(from, to NodeID) int {
-	fx, fy := m.Coord(from)
-	tx, ty := m.Coord(to)
-	switch {
-	case tx > fx:
-		return dirEast
-	case tx < fx:
-		return dirWest
-	case ty > fy:
-		return dirSouth
-	default:
-		return dirNorth
-	}
 }
 
 // Nearest returns the node in candidates closest (fewest hops) to ref,

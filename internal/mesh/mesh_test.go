@@ -104,14 +104,19 @@ func TestPathLengthMatchesHops(t *testing.T) {
 
 func TestSendDelivers(t *testing.T) {
 	eng, m := newTestMesh(4, 4, false)
-	var got interface{}
+	var got *Msg
 	var at sim.Cycles
-	m.Attach(5, func(p interface{}) { got, at = p, eng.Now() })
-	m.Attach(0, func(p interface{}) {})
-	m.Send(0, 5, 2, "hello")
+	m.Attach(5, PortFunc(func(p *Msg) { got, at = p, eng.Now() }))
+	m.Attach(0, PortFunc(func(p *Msg) {}))
+	ms := m.AllocMsg()
+	ms.ID = 42
+	m.Send(0, 5, 2, ms)
 	eng.Run()
-	if got != "hello" {
+	if got == nil || got.ID != 42 {
 		t.Fatalf("payload = %v", got)
+	}
+	if got.Dst != 5 {
+		t.Fatalf("Dst = %d, want 5", got.Dst)
 	}
 	if want := m.Latency(0, 5); at != want {
 		t.Fatalf("delivered at %d, want %d", at, want)
@@ -129,18 +134,18 @@ func TestSendToSelfAttachRequired(t *testing.T) {
 			t.Error("send to unattached node did not panic")
 		}
 	}()
-	m.Send(0, 1, 1, nil)
+	m.Send(0, 1, 1, m.AllocMsg())
 	eng.Run()
 }
 
 func TestContentionSerializesLink(t *testing.T) {
 	eng, m := newTestMesh(4, 1, true)
 	var times []sim.Cycles
-	m.Attach(1, func(p interface{}) { times = append(times, eng.Now()) })
+	m.Attach(1, PortFunc(func(p *Msg) { times = append(times, eng.Now()); m.FreeMsg(p) }))
 	// Two 8-flit messages over the same link at t=0: the second waits
 	// for the first message's link occupancy (8 flits * 2 cycles).
-	m.Send(0, 1, 8, nil)
-	m.Send(0, 1, 8, nil)
+	m.Send(0, 1, 8, m.AllocMsg())
+	m.Send(0, 1, 8, m.AllocMsg())
 	eng.Run()
 	if len(times) != 2 {
 		t.Fatalf("delivered %d messages", len(times))
@@ -160,16 +165,64 @@ func TestContentionSerializesLink(t *testing.T) {
 func TestContentionDisjointLinksNoWait(t *testing.T) {
 	eng, m := newTestMesh(4, 4, true)
 	delivered := 0
-	m.Attach(1, func(p interface{}) { delivered++ })
-	m.Attach(m.ID(0, 1), func(p interface{}) { delivered++ })
-	m.Send(0, 1, 8, nil)          // east link of node 0
-	m.Send(0, m.ID(0, 1), 8, nil) // south link of node 0
+	m.Attach(1, PortFunc(func(p *Msg) { delivered++; m.FreeMsg(p) }))
+	m.Attach(m.ID(0, 1), PortFunc(func(p *Msg) { delivered++; m.FreeMsg(p) }))
+	m.Send(0, 1, 8, m.AllocMsg())          // east link of node 0
+	m.Send(0, m.ID(0, 1), 8, m.AllocMsg()) // south link of node 0
 	eng.Run()
 	if delivered != 2 {
 		t.Fatalf("delivered = %d", delivered)
 	}
 	if w := m.Stats().QueueWait; w != 0 {
 		t.Fatalf("disjoint links queued %d cycles", w)
+	}
+}
+
+func TestDirectedLinksExact(t *testing.T) {
+	// The contention table holds exactly one entry per physical
+	// directed link: 2*((W-1)*H + W*(H-1)). The old table allocated
+	// four slots per node, inventing links off the mesh edges.
+	cases := []struct{ w, h int }{{1, 1}, {2, 1}, {1, 5}, {4, 4}, {5, 3}, {8, 2}}
+	for _, c := range cases {
+		_, m := newTestMesh(c.w, c.h, true)
+		want := 2 * ((c.w-1)*c.h + c.w*(c.h-1))
+		if got := m.DirectedLinks(); got != want {
+			t.Errorf("%dx%d mesh: %d directed links, want %d", c.w, c.h, got, want)
+		}
+	}
+}
+
+// TestContentionCornerNodesNonSquare drives contended traffic between
+// all four corners of a non-square mesh: corner nodes have the fewest
+// links (exactly two), so an indexing error in the exact per-link
+// table — or a route touching a nonexistent edge link — shows up here
+// as a panic or a missing delivery.
+func TestContentionCornerNodesNonSquare(t *testing.T) {
+	eng, m := newTestMesh(5, 3, true)
+	corners := []NodeID{m.ID(0, 0), m.ID(4, 0), m.ID(0, 2), m.ID(4, 2)}
+	delivered := 0
+	for n := NodeID(0); int(n) < m.Nodes(); n++ {
+		m.Attach(n, PortFunc(func(p *Msg) { delivered++; m.FreeMsg(p) }))
+	}
+	sent := 0
+	for _, src := range corners {
+		for _, dst := range corners {
+			if src == dst {
+				continue
+			}
+			// Two bulky messages per pair queue on the shared first
+			// link out of the corner.
+			m.Send(src, dst, 8, m.AllocMsg())
+			m.Send(src, dst, 8, m.AllocMsg())
+			sent += 2
+		}
+	}
+	eng.Run()
+	if delivered != sent {
+		t.Fatalf("delivered %d of %d messages", delivered, sent)
+	}
+	if m.Stats().QueueWait == 0 {
+		t.Fatal("no queueing observed on shared corner links")
 	}
 }
 

@@ -1,0 +1,11 @@
+// Package node defines the machine-wide node identifier. It is a leaf
+// package with no dependencies so that both the interconnect (mesh) and
+// the address types (memory) can name nodes without importing each
+// other: the mesh's typed wire message carries memory-typed payload
+// fields, while memory's global page addresses carry a node.
+package node
+
+// ID identifies a mesh node. IDs are assigned row-major by the mesh:
+// id = y*Width + x. The canonical alias for application code is
+// mesh.NodeID.
+type ID int

@@ -109,6 +109,18 @@ type Thread struct {
 	// while polling for work are real processor activity but not the
 	// "useful processor time" of the paper's utilization metric.
 	idleDepth int
+
+	// Reusable completion hooks, created once at Spawn. A thread has at
+	// most one memory operation outstanding (it parks until completion),
+	// so the hooks and their result fields can be shared by every
+	// Read/Write/Fence/Issue/Verify — the per-operation closure the old
+	// code allocated is gone from the hot path.
+	opCompleted bool
+	readVal     memory.Word
+	issuedSlot  int
+	opDone      func()
+	readDone    func(memory.Word)
+	issuedDone  func(int)
 }
 
 // Handle identifies an in-flight delayed operation: the address of a
@@ -123,6 +135,14 @@ type Handle struct {
 // id must be unique machine-wide; name is diagnostic.
 func (p *Proc) Spawn(id int, name string, body func(*Thread)) *Thread {
 	t := &Thread{id: id, name: name, proc: p, state: tReady}
+	t.opDone = func() {
+		t.opCompleted = true
+		if t.state == tBlocked {
+			p.unblock(t)
+		}
+	}
+	t.readDone = func(w memory.Word) { t.readVal = w; t.opDone() }
+	t.issuedDone = func(slot int) { t.issuedSlot = slot; t.opDone() }
 	t.co = sim.NewCoroutine(p.eng, name, func(*sim.Coroutine) {
 		body(t)
 		t.state = tDone
@@ -146,7 +166,9 @@ func (p *Proc) dispatch(t *Thread) {
 	if p.mode == SwitchOnSync {
 		cost = p.switchCost
 		p.nstat().CtxSwitches++
-		p.st.Emit(int(p.node), "dispatch", "%s (+%d switch)", t.name, cost)
+		if p.st.TraceEnabled() {
+			p.st.Emit(int(p.node), "dispatch", "%s (+%d switch)", t.name, cost)
+		}
 	}
 	t.co.WakeAfter(cost)
 }
@@ -236,17 +258,13 @@ func (t *Thread) overhead(c sim.Cycles) {
 	t.co.WaitCycles(c)
 }
 
-// blockUntil parks the thread until done fires (it may fire
-// synchronously inside start). It returns the cycles spent parked.
-func (t *Thread) blockUntil(start func(done func())) sim.Cycles {
-	completed := false
-	start(func() {
-		completed = true
-		if t.state == tBlocked {
-			t.proc.unblock(t)
-		}
-	})
-	if completed {
+// waitOp parks the thread until its completion hook fires. Callers
+// clear t.opCompleted, start the operation with one of the reusable
+// hooks (t.opDone / t.readDone / t.issuedDone) as the callback — which
+// may fire synchronously — and then waitOp. It returns the cycles
+// spent parked.
+func (t *Thread) waitOp() sim.Cycles {
+	if t.opCompleted {
 		return 0
 	}
 	began := t.proc.eng.Now()
@@ -308,10 +326,15 @@ func (t *Thread) Compute(c sim.Cycles) { t.consume(c) }
 // blocks until the write completes.
 func (t *Thread) Read(va memory.VAddr) memory.Word {
 	g := t.translate(va)
-	var v memory.Word
-	elapsed := t.blockUntil(func(done func()) {
-		t.proc.cm.Read(g, func(w memory.Word) { v = w; done() })
-	})
+	t.opCompleted = false
+	// Fast path: with no other runnable thread to dispatch during the
+	// wait, a local read whose latency window contains no other event
+	// completes in place (direct clock advance, same schedule).
+	v, elapsed, fast := t.proc.cm.ReadFast(g, t.readDone, len(t.proc.ready) == 0)
+	if !fast {
+		elapsed = t.waitOp()
+		v = t.readVal
+	}
 	// Accounting: an uncontended local access is useful memory time; a
 	// remote or write-blocked read is busy for the issue overhead and
 	// stalled for the remainder.
@@ -329,10 +352,9 @@ func (t *Thread) Read(va memory.VAddr) memory.Word {
 // only when the pending-writes cache is full.
 func (t *Thread) Write(va memory.VAddr, v memory.Word) {
 	g := t.translate(va)
-	stalled := t.blockUntil(func(done func()) {
-		t.proc.cm.Write(g, v, done)
-	})
-	t.proc.nstat().WriteStall += stalled
+	t.opCompleted = false
+	t.proc.cm.Write(g, v, t.opDone)
+	t.proc.nstat().WriteStall += t.waitOp()
 	t.consume(t.proc.tm.WriteIssue)
 }
 
@@ -340,11 +362,12 @@ func (t *Thread) Write(va memory.VAddr, v memory.Word) {
 // delayed-operation modifications) have completed at every copy — the
 // explicit write fence of §2.3 used to order synchronization.
 func (t *Thread) Fence() {
-	t.proc.st.Emit(int(t.proc.node), "fence", "%s", t.name)
-	stalled := t.blockUntil(func(done func()) {
-		t.proc.cm.Fence(done)
-	})
-	t.proc.nstat().FenceStall += stalled
+	if t.proc.st.TraceEnabled() {
+		t.proc.st.Emit(int(t.proc.node), "fence", "%s", t.name)
+	}
+	t.opCompleted = false
+	t.proc.cm.Fence(t.opDone)
+	t.proc.nstat().FenceStall += t.waitOp()
 }
 
 // Issue starts a delayed operation on va and returns a handle for
@@ -357,14 +380,10 @@ func (t *Thread) Issue(op coherence.Op, va memory.VAddr, operand memory.Word) Ha
 	}
 	g := t.translate(va)
 	t.consume(t.proc.tm.DelayedIssue)
-	var h Handle
-	stalled := t.blockUntil(func(done func()) {
-		t.proc.cm.RMW(op, g, operand, func(slot int) {
-			h = Handle{slot: slot, node: t.proc.node}
-			done()
-		})
-	})
-	t.proc.nstat().WriteStall += stalled
+	t.opCompleted = false
+	t.proc.cm.RMW(op, g, operand, t.issuedDone)
+	t.proc.nstat().WriteStall += t.waitOp()
+	h := Handle{slot: t.issuedSlot, node: t.proc.node}
 	if t.proc.mode == SwitchOnSync {
 		t.yield()
 	}
@@ -378,13 +397,11 @@ func (t *Thread) Verify(h Handle) memory.Word {
 	if h.node != t.proc.node {
 		panic(fmt.Sprintf("proc: thread %q verifying a handle issued on node %d", t.name, h.node))
 	}
-	var v memory.Word
-	stalled := t.blockUntil(func(done func()) {
-		t.proc.cm.Verify(h.slot, func(w memory.Word) { v = w; done() })
-	})
-	t.proc.nstat().VerifyStall += stalled
+	t.opCompleted = false
+	t.proc.cm.Verify(h.slot, t.readDone)
+	t.proc.nstat().VerifyStall += t.waitOp()
 	t.consume(t.proc.tm.ResultRead)
-	return v
+	return t.readVal
 }
 
 // TryVerify polls a delayed operation's status without blocking:

@@ -2,8 +2,10 @@ package sim
 
 import "testing"
 
-// BenchmarkEngineSchedule measures raw event throughput.
+// BenchmarkEngineSchedule measures raw event throughput on the legacy
+// closure API (funcSink adapter).
 func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -15,9 +17,10 @@ func BenchmarkEngineSchedule(b *testing.B) {
 	e.Run()
 }
 
-// BenchmarkEngineChain measures self-rescheduling event chains (the
-// dominant pattern: message → handler → next message).
+// BenchmarkEngineChain measures self-rescheduling closure chains (the
+// legacy pattern the typed path replaces on hot paths).
 func BenchmarkEngineChain(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	n := b.N
 	var tick func()
@@ -32,10 +35,45 @@ func BenchmarkEngineChain(b *testing.B) {
 	e.Run()
 }
 
-// BenchmarkCoroutineSwitch measures a park/wake round trip.
+// chainSink reschedules itself until its budget is exhausted,
+// exercising the full schedule → siftUp → pop → siftDown → dispatch
+// cycle with nothing else in the loop.
+type chainSink struct {
+	eng       *Engine
+	remaining int
+}
+
+func (s *chainSink) HandleEvent(int, any) {
+	if s.remaining > 0 {
+		s.remaining--
+		s.eng.ScheduleEvent(1, s, 0, nil)
+	}
+}
+
+// BenchmarkEngineHotPath measures the typed event path: one event
+// scheduled and dispatched per iteration step, no closures, no boxing.
+func BenchmarkEngineHotPath(b *testing.B) {
+	b.ReportAllocs()
+	eng := NewEngine()
+	s := &chainSink{eng: eng}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.remaining = 1000
+		eng.ScheduleEvent(1, s, 0, nil)
+		eng.Run()
+	}
+}
+
+// BenchmarkCoroutineSwitch measures a park/wake round trip. A
+// self-rescheduling sink keeps the queue non-empty at the same cadence
+// as the waits, so WaitCycles cannot take the direct clock-advance
+// fast path and every iteration really pays the goroutine handoffs.
 func BenchmarkCoroutineSwitch(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	n := b.N
+	s := &chainSink{eng: e, remaining: n}
+	e.ScheduleEvent(1, s, 0, nil)
 	co := NewCoroutine(e, "bench", func(co *Coroutine) {
 		for i := 0; i < n; i++ {
 			co.WaitCycles(1)
@@ -44,4 +82,46 @@ func BenchmarkCoroutineSwitch(b *testing.B) {
 	co.WakeAfter(0)
 	b.ResetTimer()
 	e.Run()
+}
+
+// TestScheduleEventAllocFree pins the typed event path at zero
+// allocations per event once the heap's backing array has grown to
+// working size — the regression guard for reintroducing a per-event
+// closure or interface box.
+func TestScheduleEventAllocFree(t *testing.T) {
+	eng := NewEngine()
+	s := &chainSink{eng: eng}
+	// Warm-up: grow the event array.
+	s.remaining = 256
+	eng.ScheduleEvent(1, s, 0, nil)
+	eng.Run()
+	avg := testing.AllocsPerRun(50, func() {
+		s.remaining = 100
+		eng.ScheduleEvent(1, s, 0, nil)
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("typed event path allocates %v objects per run, want 0", avg)
+	}
+}
+
+// TestCoroutineWakeAllocFree pins the coroutine wake path (the
+// coroutine is its own event sink) at zero allocations per wake. A
+// persistent sentinel keeps the queue non-empty so every wait takes
+// the schedule-wake path rather than the direct clock advance.
+func TestCoroutineWakeAllocFree(t *testing.T) {
+	eng := NewEngine()
+	s := &chainSink{eng: eng, remaining: 1 << 30}
+	eng.ScheduleEvent(1, s, 0, nil)
+	co := NewCoroutine(eng, "alloc-test", func(co *Coroutine) {
+		for i := 0; i < 1<<20; i++ {
+			co.WaitCycles(1)
+		}
+	})
+	co.WakeAfter(0)
+	eng.RunLimit(500) // warm-up: goroutine stack, heap array, sudogs
+	avg := testing.AllocsPerRun(20, func() { eng.RunLimit(200) })
+	if avg != 0 {
+		t.Fatalf("coroutine wake path allocates %v objects per run, want 0", avg)
+	}
 }

@@ -55,9 +55,8 @@ func (co *Coroutine) Done() bool { return co.done }
 // Engine returns the engine this coroutine is bound to.
 func (co *Coroutine) Engine() *Engine { return co.eng }
 
-// scheduleWake arms a resume event after delay cycles. The event hands
-// control to the coroutine and blocks the engine until it parks again
-// (or finishes), preserving the single-activity invariant.
+// scheduleWake arms a resume event after delay cycles. The coroutine
+// itself is the event's sink, so a wake allocates nothing.
 func (co *Coroutine) scheduleWake(delay Cycles) {
 	if co.done {
 		panic("sim: wake of finished coroutine " + co.label)
@@ -66,13 +65,18 @@ func (co *Coroutine) scheduleWake(delay Cycles) {
 		panic("sim: double wake of coroutine " + co.label)
 	}
 	co.waking = true
-	co.eng.Schedule(delay, func() {
-		// Clear before transferring control: the body may re-arm its
-		// own wake (WaitCycles) during this slice.
-		co.waking = false
-		co.resume <- struct{}{}
-		<-co.parked
-	})
+	co.eng.ScheduleEvent(delay, co, 0, nil)
+}
+
+// HandleEvent implements EventSink: the fired wake event hands control
+// to the coroutine and blocks the engine until it parks again (or
+// finishes), preserving the single-activity invariant.
+func (co *Coroutine) HandleEvent(int, any) {
+	// Clear before transferring control: the body may re-arm its own
+	// wake (WaitCycles) during this slice.
+	co.waking = false
+	co.resume <- struct{}{}
+	<-co.parked
 }
 
 // WakeAfter schedules the coroutine to resume after delay cycles.
@@ -94,8 +98,14 @@ func (co *Coroutine) Park() {
 }
 
 // WaitCycles suspends the coroutine for d cycles of virtual time.
-// Must be called from the coroutine's own body.
+// Must be called from the coroutine's own body. When no other event is
+// due within d cycles the wait is a direct clock advance — the
+// schedule-wake/park round trip (two goroutine handoffs) happens only
+// when other simulated activity must run first.
 func (co *Coroutine) WaitCycles(d Cycles) {
+	if co.eng.AdvanceIf(d) {
+		return
+	}
 	co.scheduleWake(d)
 	co.Park()
 }

@@ -11,62 +11,66 @@
 // popping the next event. The result is a total, reproducible order of
 // all simulated activity: ties in virtual time break on event sequence
 // number, which is assigned in scheduling order.
+//
+// Events are stored by value in an indexed binary heap and dispatch to
+// an EventSink, so scheduling allocates nothing on the hot paths
+// (coroutine resume, message delivery, component timers). The
+// closure-based Schedule/ScheduleAt API remains for cold paths and
+// tests; it costs whatever the caller's closure costs, but no
+// per-event heap node.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycles is a quantity of virtual time, measured in processor cycles.
 // In the PLUS implementation one cycle is 40 ns (25 MHz).
 type Cycles uint64
 
-// Event is a scheduled callback. Events compare by (At, seq) so that
+// EventSink receives typed events from the engine. Implementations are
+// the simulator's hot-path actors: coroutine resume (*Coroutine),
+// message delivery (*mesh.Mesh), and component timers (the coherence
+// manager). The (kind, data) pair is sink-defined; data is nil or a
+// pointer-shaped value, so dispatching boxes nothing.
+type EventSink interface {
+	HandleEvent(kind int, data any)
+}
+
+// event is one pending entry, stored by value in the heap: scheduling
+// allocates no per-event node. Events compare by (at, seq) so that
 // events scheduled earlier run earlier when times tie.
 type event struct {
-	at  Cycles
-	seq uint64
-	fn  func()
+	at   Cycles
+	seq  uint64
+	kind int
+	sink EventSink
+	data any
 }
 
-type eventHeap []*event
+// funcSink adapts the closure-based Schedule API onto the typed event
+// path: data carries the func() itself (pointer-shaped, not boxed).
+type funcSink struct{}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+func (funcSink) HandleEvent(_ int, data any) { data.(func())() }
 
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now     Cycles
-	seq     uint64
-	pq      eventHeap
-	running bool
+	now Cycles
+	seq uint64
+	// pq is a binary min-heap of events ordered by (at, seq).
+	pq []event
 	// processed counts executed events, for diagnostics and runaway
 	// detection in tests.
 	processed uint64
+	// horizon bounds AdvanceIf while RunUntil is active: simulated
+	// activity may not move the clock past the instant the caller asked
+	// the engine to stop at.
+	horizon Cycles
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.pq)
-	return e
+	return &Engine{horizon: ^Cycles(0)}
 }
 
 // Now returns the current virtual time.
@@ -80,19 +84,85 @@ func (e *Engine) Pending() int { return len(e.pq) }
 
 // Schedule runs fn after delay cycles of virtual time.
 func (e *Engine) Schedule(delay Cycles, fn func()) {
-	e.ScheduleAt(e.now+delay, fn)
+	e.ScheduleEventAt(e.now+delay, funcSink{}, 0, fn)
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Scheduling in the
 // past is a programming error and panics: the engine's clock never
 // moves backward.
 func (e *Engine) ScheduleAt(at Cycles, fn func()) {
+	e.ScheduleEventAt(at, funcSink{}, 0, fn)
+}
+
+// ScheduleEvent delivers (kind, data) to sink after delay cycles.
+// This is the allocation-free scheduling path.
+func (e *Engine) ScheduleEvent(delay Cycles, sink EventSink, kind int, data any) {
+	e.ScheduleEventAt(e.now+delay, sink, kind, data)
+}
+
+// ScheduleEventAt delivers (kind, data) to sink at absolute virtual
+// time at. Scheduling in the past panics.
+func (e *Engine) ScheduleEventAt(at Cycles, sink EventSink, kind int, data any) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.pq = append(e.pq, event{at: at, seq: e.seq, kind: kind, sink: sink, data: data})
 	e.seq++
-	heap.Push(&e.pq, ev)
+	e.siftUp(len(e.pq) - 1)
+}
+
+// less orders the heap by (at, seq); seq is unique, so the order is
+// total and any correct heap pops the same deterministic sequence.
+func (e *Engine) less(i, j int) bool {
+	if e.pq[i].at != e.pq[j].at {
+		return e.pq[i].at < e.pq[j].at
+	}
+	return e.pq[i].seq < e.pq[j].seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.pq)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && e.less(r, child) {
+			child = r
+		}
+		if !e.less(child, i) {
+			return
+		}
+		e.pq[i], e.pq[child] = e.pq[child], e.pq[i]
+		i = child
+	}
+}
+
+// AdvanceIf advances the clock by d and reports whether it did: it
+// succeeds only when nothing else is due first — no pending event in
+// [now, now+d] and now+d does not cross the RunUntil horizon.
+// Coroutines use it to skip the schedule-wake/park handoff when the
+// wake would have been the very next event anyway; the observable
+// schedule (times, and the relative order of all remaining events) is
+// identical to the slow path, so determinism is unaffected.
+func (e *Engine) AdvanceIf(d Cycles) bool {
+	t := e.now + d
+	if t > e.horizon || (len(e.pq) > 0 && e.pq[0].at <= t) {
+		return false
+	}
+	e.now = t
+	return true
 }
 
 // Step executes the single earliest pending event and returns true, or
@@ -101,10 +171,17 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*event)
+	ev := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{} // drop sink/data references for the GC
+	e.pq = e.pq[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	ev.sink.HandleEvent(ev.kind, ev.data)
 	return true
 }
 
@@ -117,9 +194,12 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= t, then sets the clock to t.
 // Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Cycles) {
+	prev := e.horizon
+	e.horizon = t
 	for len(e.pq) > 0 && e.pq[0].at <= t {
 		e.Step()
 	}
+	e.horizon = prev
 	if e.now < t {
 		e.now = t
 	}
