@@ -2,18 +2,22 @@
 
 GO ?= go
 
-.PHONY: all check build test bench vet fmt lint experiments experiments-quick golden examples clean
+.PHONY: all check build test race bench vet fmt lint experiments experiments-quick golden examples clean
 
 all: check
 
 # The default gate: everything a PR must keep green.
-check: build test lint
+check: build test race lint
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The suite under the race detector (short mode keeps it a few minutes).
+race:
+	$(GO) test -race -short ./...
 
 # The full test log the repository ships with.
 test-log:

@@ -97,8 +97,14 @@ type Result struct {
 	ReadRatio, WriteRatio, UpdateRatio float64
 	Messages, Updates                  uint64
 	Totals                             stats.Node
-	Relaxations                        uint64
-	Dist                               []uint32
+	// Net is the interconnect's counters, including the fault-injection
+	// tallies in unreliable-network mode.
+	Net mesh.Stats
+	// Retransmits and TransportAcks are the reliability sublayer's
+	// activity (zero on a reliable network).
+	Retransmits, TransportAcks uint64
+	Relaxations                uint64
+	Dist                       []uint32
 	// Report is the rendered per-node counter table.
 	Report string
 }
@@ -141,17 +147,20 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res := Result{
-		Elapsed:     elapsed,
-		Utilization: m.Utilization(),
-		Report:      m.Stats().Report(elapsed),
-		ReadRatio:   m.Stats().ReadRatio(),
-		WriteRatio:  m.Stats().WriteRatio(),
-		UpdateRatio: m.Stats().UpdateRatio(),
-		Messages:    m.Stats().Messages(),
-		Updates:     m.Stats().MsgUpdate,
-		Totals:      m.Stats().Totals(),
-		Relaxations: w.relaxations,
-		Dist:        w.readDist(),
+		Elapsed:       elapsed,
+		Utilization:   m.Utilization(),
+		Report:        m.Stats().Report(elapsed),
+		ReadRatio:     m.Stats().ReadRatio(),
+		WriteRatio:    m.Stats().WriteRatio(),
+		UpdateRatio:   m.Stats().UpdateRatio(),
+		Messages:      m.Stats().Messages(),
+		Updates:       m.Stats().MsgUpdate,
+		Totals:        m.Stats().Totals(),
+		Net:           m.Mesh().Stats(),
+		Retransmits:   m.Stats().Retransmits,
+		TransportAcks: m.Stats().MsgTAck,
+		Relaxations:   w.relaxations,
+		Dist:          w.readDist(),
 	}
 	if cfg.Validate {
 		want := Dijkstra(g, 0)

@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	plusbench [-exp all|table2-1|figure2-1|table3-1|figure3-1|costs|ablations] [-quick] [-full-procs N]
+//	plusbench [-exp all|table2-1|figure2-1|table3-1|figure3-1|costs|ablations|faults] [-quick] [-full-procs N]
+//
+// -faults runs only the unreliable-network sweep and additionally
+// emits its rows as JSON.
 //
 // Results print to stdout; EXPERIMENTS.md records a reference run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,11 +22,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table2-1, figure2-1, table3-1, figure3-1, costs, ablations")
+	exp := flag.String("exp", "all", "experiment: all, table2-1, figure2-1, table3-1, figure3-1, costs, ablations, faults")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast run")
 	maxProcs := flag.Int("max-procs", 0, "cap the processor sweep (0 = experiment default)")
 	chart := flag.Bool("chart", false, "render the figures as ASCII charts as well")
+	faults := flag.Bool("faults", false, "run only the fault sweep and also emit its rows as JSON")
 	flag.Parse()
+	if *faults {
+		*exp = "faults"
+	}
 
 	run := func(name string, fn func() (string, error)) {
 		if *exp != "all" && *exp != name {
@@ -99,6 +107,21 @@ func main() {
 				return "", fmt.Errorf("%s: %w", a.title, err)
 			}
 			out += experiments.FormatAblation(a.title, rows) + "\n"
+		}
+		return out, nil
+	})
+	run("faults", func() (string, error) {
+		rows, err := experiments.FaultSweep(experiments.FaultSweepConfig{Quick: *quick})
+		if err != nil {
+			return "", err
+		}
+		out := experiments.FormatFaultSweep(rows)
+		if *faults {
+			j, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return "", err
+			}
+			out += "\n" + string(j)
 		}
 		return out, nil
 	})

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFaultSweepQuick runs the unreliable-network sweep at a reduced
+// problem size and checks its structural claims: the fault-free row is
+// the 1.0 baseline, lossy rows actually lost and repaired messages, and
+// every row's SSSP distances validated against Dijkstra inside
+// FaultSweep itself.
+func TestFaultSweepQuick(t *testing.T) {
+	rows, err := FaultSweep(FaultSweepConfig{Quick: true, DropRates: []float64{0, 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Slowdown != 1 || rows[0].Dropped != 0 || rows[0].Retransmits != 0 {
+		t.Fatalf("fault-free baseline row polluted: %+v", rows[0])
+	}
+	r := rows[1]
+	if r.Dropped == 0 {
+		t.Fatalf("1%% drop rate lost no messages: %+v", r)
+	}
+	if r.Retransmits == 0 || r.TransportAcks == 0 {
+		t.Fatalf("losses never repaired: %+v", r)
+	}
+	if r.Slowdown < 1 {
+		t.Fatalf("lossy run faster than baseline: %+v", r)
+	}
+	if _, err := json.Marshal(rows); err != nil {
+		t.Fatalf("rows do not marshal: %v", err)
+	}
+	if out := FormatFaultSweep(rows); out == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestFaultSweepDeterminism pins that the sweep — graph seed, fault
+// seed, retransmit schedule and all — reproduces byte-identical output
+// across runs in one process.
+func TestFaultSweepDeterminism(t *testing.T) {
+	run := func() string {
+		rows, err := FaultSweep(FaultSweepConfig{Quick: true, DropRates: []float64{0, 0.01}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFaultSweep(rows)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("fault sweep diverged between identical runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

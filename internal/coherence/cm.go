@@ -59,6 +59,9 @@ const (
 	// ckReadDone: a local read completes after the cache/memory
 	// latency. data is a pooled *readDone.
 	ckReadDone
+	// ckRetrans: the reliability sublayer's retransmit timer for one
+	// destination fires. data is a pooled *retransTimer.
+	ckRetrans
 )
 
 // readDone is a pooled local-read completion: the value and the
@@ -109,6 +112,14 @@ type CM struct {
 	// rdFree recycles local-read completions.
 	rdFree []*readDone
 
+	// Reliability sublayer (unreliable-network mode; see transport.go).
+	// reliable is set when the mesh fault model is enabled; tx/rx hold
+	// the per-peer sequence state and rtFree recycles timer payloads.
+	reliable bool
+	tx       []txState
+	rx       []rxState
+	rtFree   []*retransTimer
+
 	// Write-invalidate ablation mode (see invalidate.go). Real PLUS is
 	// write-update; this exists to measure the §2.2 claim.
 	invalidateMode bool
@@ -141,6 +152,11 @@ func New(self mesh.NodeID, eng *sim.Engine, net *mesh.Mesh, mem *memory.Memory, 
 		readRetry:    make(map[GAddr][]func()),
 		slots:        make([]dslot, tm.MaxDelayedOps),
 		readWaiters:  make(map[uint64]func(memory.Word)),
+	}
+	if net.Config().Faults.Enabled() {
+		cm.reliable = true
+		cm.tx = make([]txState, net.Nodes())
+		cm.rx = make([]rxState, net.Nodes())
 	}
 	net.Attach(self, cm)
 	return cm
@@ -697,6 +713,12 @@ func (cm *CM) send(dst mesh.NodeID, m *mesh.Msg) {
 		cm.st.MsgRMWRep++
 	case kPageCopy:
 		cm.st.MsgPage++
+	case kTAck:
+		cm.st.MsgTAck++
+	}
+	if cm.reliable && m.Kind != kTAck {
+		cm.transportSend(dst, m)
+		return
 	}
 	cm.net.Send(cm.self, dst, flits(m), m)
 }
@@ -706,6 +728,20 @@ func (cm *CM) send(dst mesh.NodeID, m *mesh.Msg) {
 // acks and replies act immediately, their handling cost folded into
 // the originator-side constants.
 func (cm *CM) Deliver(m *mesh.Msg) {
+	if m.Nacked {
+		// Bounced by a full link buffer before ever leaving this node.
+		cm.transportNack(m)
+		return
+	}
+	if cm.reliable {
+		if m.Kind == kTAck {
+			cm.transportAck(m)
+			return
+		}
+		if !cm.transportAccept(m) {
+			return
+		}
+	}
 	switch m.Kind {
 	case kReadReq, kWriteReq, kUpdate, kRMWReq:
 		cm.eng.ScheduleEvent(cm.tm.CMProcess, cm, ckProcess, m)
@@ -769,6 +805,8 @@ func (cm *CM) HandleEvent(kind int, data any) {
 		rd.fn = nil
 		cm.rdFree = append(cm.rdFree, rd)
 		fn(v)
+	case ckRetrans:
+		cm.fireRetrans(data.(*retransTimer))
 	default:
 		panic(fmt.Sprintf("coherence: unknown event kind %d on node %d", kind, cm.self))
 	}

@@ -33,6 +33,13 @@ const (
 	// kPageCopy carries a whole-page snapshot from a copy-list
 	// predecessor to a newly linked replica.
 	kPageCopy
+	// kTAck is the reliability sublayer's cumulative transport
+	// acknowledgement (unreliable-network mode only; see transport.go).
+	// Seq carries the highest in-order sequence number received from
+	// the acked peer. Transport acks are themselves unsequenced — loss
+	// is recovered by the sender's retransmit timer and the receiver
+	// re-acking duplicates.
+	kTAck
 )
 
 // wordWrite is one word modified by a write or RMW, propagated down
@@ -61,6 +68,8 @@ func flits(m *mesh.Msg) int {
 		return 2
 	case kPageCopy:
 		return 2 + len(m.Data)
+	case kTAck:
+		return 1
 	default:
 		return 1
 	}

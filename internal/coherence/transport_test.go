@@ -1,0 +1,137 @@
+package coherence
+
+import (
+	"testing"
+
+	"plus/internal/cache"
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/sim"
+	"plus/internal/stats"
+	"plus/internal/timing"
+)
+
+// newFaultyRig is newRig on an unreliable network.
+func newFaultyRig(t *testing.T, w, h int, f mesh.FaultConfig) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := mesh.DefaultConfig(w, h)
+	cfg.Faults = f
+	net := mesh.New(eng, cfg)
+	tm := timing.Default()
+	st := stats.New(w * h)
+	r := &rig{eng: eng, net: net, st: st, tm: tm}
+	for i := 0; i < w*h; i++ {
+		mem := memory.New()
+		ca := cache.New(cache.DefaultConfig(), tm)
+		r.mems = append(r.mems, mem)
+		r.cms = append(r.cms, New(mesh.NodeID(i), eng, net, mem, ca, tm, st))
+	}
+	return r
+}
+
+// TestTransportSurvivesChaos drives writes from every node through a
+// network that drops, duplicates and reorders messages, and checks that
+// the reliability sublayer delivers the protocol intact: every write
+// completes, every replica converges with the master, the retransmit
+// queues drain, and no pooled message leaks.
+func TestTransportSurvivesChaos(t *testing.T) {
+	f := mesh.FaultConfig{Seed: 5, DropRate: 0.15, DupRate: 0.1, DelayRate: 0.2, DelayMax: 200}
+	r := newFaultyRig(t, 2, 2, f)
+	frames := r.page(0, 1, 2) // master on 0, copies on 1 and 2; node 3 bare
+	for i := 0; i < 40; i++ {
+		off := uint32(i % 16)
+		node := mesh.NodeID(i % 4)
+		g := addrFor(frames, 0, node, off)
+		r.cms[node].Write(g, memory.Word(1000+i), func() {})
+	}
+	r.eng.Run()
+	for i, cm := range r.cms {
+		if cm.PendingCount() != 0 {
+			t.Fatalf("node %d: %d writes never completed", i, cm.PendingCount())
+		}
+		if !cm.TransportIdle() {
+			t.Fatalf("node %d: retransmit queue not drained", i)
+		}
+	}
+	for _, n := range []mesh.NodeID{1, 2} {
+		for off := uint32(0); off < 16; off++ {
+			if got, want := r.mems[n].Read(frames[n], off), r.mems[0].Read(frames[0], off); got != want {
+				t.Fatalf("replica on node %d diverged at word %d: %d != master %d", n, off, got, want)
+			}
+		}
+	}
+	if r.st.Retransmits == 0 {
+		t.Fatal("chaos run exercised no retransmits")
+	}
+	if r.st.TransDups == 0 && r.st.TransGaps == 0 {
+		t.Fatal("chaos run exercised no receiver-side drops")
+	}
+	net := r.net.Stats()
+	if net.Dropped == 0 {
+		t.Fatalf("fault injection inactive: %+v", net)
+	}
+	if live := r.net.LiveMsgs(); live != 0 {
+		t.Fatalf("pool imbalance: %d messages live after drain", live)
+	}
+}
+
+// TestTransportRecoversEveryKind exercises loss under each protocol
+// message flavour: remote blocking reads, remote writes through
+// forwarding, RMWs, and a background page copy.
+func TestTransportRecoversEveryKind(t *testing.T) {
+	f := mesh.FaultConfig{Seed: 9, DropRate: 0.25}
+	r := newFaultyRig(t, 2, 1, f)
+	frames := r.page(0, 1)
+	r.mems[0].Write(frames[0], 2, 77)
+	r.mems[1].Write(frames[1], 2, 77)
+
+	var reads []memory.Word
+	for i := 0; i < 8; i++ {
+		r.cms[1].Read(GAddr{0, frames[0], 2}, func(v memory.Word) { reads = append(reads, v) })
+		r.cms[1].Write(GAddr{1, frames[1], uint32(4 + i)}, memory.Word(i), func() {})
+		r.cms[1].RMW(OpFadd, GAddr{0, frames[0], 3}, 1, func(slot int) {})
+	}
+	r.eng.Run()
+	if len(reads) != 8 {
+		t.Fatalf("completed %d of 8 remote reads", len(reads))
+	}
+	for _, v := range reads {
+		if v != 77 {
+			t.Fatalf("remote read returned %d, want 77", v)
+		}
+	}
+	if got := r.mems[0].Read(frames[0], 3); got != 8 {
+		t.Fatalf("fetch-add total = %d, want 8", got)
+	}
+	if got := r.mems[1].Read(frames[1], 3); got != 8 {
+		t.Fatalf("replica fetch-add total = %d, want 8", got)
+	}
+	if r.st.Retransmits == 0 {
+		t.Fatal("no retransmits at 25%% loss")
+	}
+	if live := r.net.LiveMsgs(); live != 0 {
+		t.Fatalf("pool imbalance: %d messages live after drain", live)
+	}
+}
+
+// TestTransportInertWhenOff pins the zero-cost guarantee: on a reliable
+// network no sequence numbers are stamped and no transport messages or
+// state appear.
+func TestTransportInertWhenOff(t *testing.T) {
+	r := newRig(t, 2, 1)
+	frames := r.page(0, 1)
+	r.cms[1].Write(GAddr{0, frames[0], 1}, 5, func() {})
+	r.eng.Run()
+	if r.st.MsgTAck != 0 || r.st.Retransmits != 0 || r.st.TransDups != 0 || r.st.TransGaps != 0 {
+		t.Fatalf("transport active on a reliable network: tacks=%d retrans=%d", r.st.MsgTAck, r.st.Retransmits)
+	}
+	for i, cm := range r.cms {
+		if !cm.TransportIdle() {
+			t.Fatalf("node %d transport not idle", i)
+		}
+		if cm.reliable || cm.tx != nil || cm.rx != nil {
+			t.Fatalf("node %d allocated transport state on a reliable network", i)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/proc"
+	"plus/internal/sim"
+)
+
+// runFaultFuzz drives the protocol-fuzz workload on an unreliable
+// network with the runtime invariant checker armed, and returns a
+// fingerprint of everything observable: elapsed time, message and
+// fault counters, and final memory contents.
+func runFaultFuzz(t *testing.T, seed int64, f mesh.FaultConfig, contention bool) (string, mesh.Stats) {
+	t.Helper()
+	cfg := DefaultConfig(4, 2)
+	cfg.NetContention = contention
+	cfg.Faults = f
+	cfg.CheckInvariants = true
+	cfg.InvariantPeriod = 5000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const pages = 3
+	bases := make([]memory.VAddr, pages)
+	for i := range bases {
+		bases[i] = m.Alloc(mesh.NodeID(rng.Intn(8)), 1)
+		for k := rng.Intn(4); k > 0; k-- {
+			m.Replicate(bases[i], mesh.NodeID(rng.Intn(8)))
+		}
+	}
+	deltaSums := make([]int64, pages)
+	for n := 0; n < 8; n++ {
+		tr := rand.New(rand.NewSource(seed*100 + int64(n)))
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			privOff := func() uint32 { return uint32(1 + 10*n + tr.Intn(10)) }
+			for op := 0; op < 40; op++ {
+				pg := tr.Intn(pages)
+				switch tr.Intn(8) {
+				case 0, 1:
+					th.Read(bases[pg] + memory.VAddr(uint32(101+tr.Intn(50))))
+				case 2, 3:
+					th.Write(bases[pg]+memory.VAddr(privOff()), memory.Word(tr.Uint32())&^memory.TopBit)
+				case 4:
+					d := int32(tr.Intn(21) - 10)
+					th.Verify(th.Fadd(bases[pg], d))
+					deltaSums[pg] += int64(d)
+				case 5:
+					th.Fence()
+				default:
+					th.Compute(sim.Cycles(tr.Intn(150)))
+				}
+			}
+			th.Fence()
+		})
+	}
+	elapsed, err := m.Run()
+	if err != nil {
+		t.Fatalf("seed %d faults %+v: %v", seed, f, err)
+	}
+	for pg := range deltaSums {
+		if got := int64(int32(m.Peek(bases[pg]))); got != deltaSums[pg] {
+			t.Fatalf("seed %d faults %+v: counter %d = %d, deltas sum to %d", seed, f, pg, got, deltaSums[pg])
+		}
+	}
+	if ic := m.Invariants(); ic.Checks == 0 {
+		t.Fatalf("seed %d: invariant checker never ran", seed)
+	}
+	fp := fmt.Sprintf("elapsed=%d net=%+v msgs=%d tacks=%d retrans=%d dups=%d gaps=%d stalls=%d",
+		elapsed, m.Mesh().Stats(), m.Stats().Messages(), m.Stats().MsgTAck,
+		m.Stats().Retransmits, m.Stats().TransDups, m.Stats().TransGaps, m.Stats().TransStalls)
+	for pg := range bases {
+		for off := uint32(0); off < 128; off += 17 {
+			fp += fmt.Sprintf(" %d", m.Peek(bases[pg]+memory.VAddr(off)))
+		}
+	}
+	return fp, m.Mesh().Stats()
+}
+
+// TestProtocolFuzzWithFaults repeats the protocol fuzz over an
+// unreliable network — light loss, then heavy loss with duplication and
+// reordering delays — with runtime invariant checking on, and pins
+// cross-run determinism: the same seeds reproduce byte-identical stats
+// and memory.
+func TestProtocolFuzzWithFaults(t *testing.T) {
+	configs := []mesh.FaultConfig{
+		{Seed: 7, DropRate: 0.01},
+		{Seed: 7, DropRate: 0.05, DupRate: 0.02, DelayRate: 0.05, DelayMax: 300},
+	}
+	for _, f := range configs {
+		var dropped uint64
+		for seed := int64(0); seed < 3; seed++ {
+			a, st := runFaultFuzz(t, seed, f, false)
+			b, _ := runFaultFuzz(t, seed, f, false)
+			if a != b {
+				t.Fatalf("seed %d faults %+v: two runs diverged\n%s\n%s", seed, f, a, b)
+			}
+			dropped += st.Dropped
+		}
+		if dropped == 0 {
+			t.Fatalf("faults %+v: no message was ever dropped", f)
+		}
+	}
+}
+
+// TestProtocolFuzzWithBackpressure adds bounded link buffers under
+// contention: overflowing messages NACK back to their senders and must
+// be retried without breaking coherence.
+func TestProtocolFuzzWithBackpressure(t *testing.T) {
+	f := mesh.FaultConfig{Seed: 3, DropRate: 0.01, LinkBufFlits: 16}
+	var bounced uint64
+	for seed := int64(0); seed < 3; seed++ {
+		a, st := runFaultFuzz(t, seed, f, true)
+		b, _ := runFaultFuzz(t, seed, f, true)
+		if a != b {
+			t.Fatalf("seed %d: two runs diverged\n%s\n%s", seed, a, b)
+		}
+		bounced += st.Nacked
+	}
+	if bounced == 0 {
+		t.Fatal("no seed exercised a back-pressure NACK; shrink LinkBufFlits")
+	}
+}

@@ -51,6 +51,18 @@ type Config struct {
 	// word-granular write-invalidate protocol (the §2.2 alternative);
 	// for the ablation benches. Real PLUS is update-only.
 	InvalidateMode bool
+	// Faults configures the unreliable-network mode: deterministic
+	// message loss, duplication, delay and bounded back-pressured link
+	// buffers (see mesh.FaultConfig). The zero value is the reliable
+	// network of the 1990 hardware.
+	Faults mesh.FaultConfig
+	// CheckInvariants runs the coherence invariant checker periodically
+	// during Run and once at the end: single master per page, intact
+	// copy-list chains, and replica convergence at quiescence.
+	CheckInvariants bool
+	// InvariantPeriod is the cycle interval between runtime invariant
+	// checks when CheckInvariants is set (0 means 10000).
+	InvariantPeriod sim.Cycles
 }
 
 // DefaultConfig returns a paper-calibrated machine on a w x h mesh.
@@ -82,6 +94,11 @@ type Machine struct {
 	ran     bool
 	started sim.Cycles
 	elapsed sim.Cycles
+
+	// inv is the runtime invariant checker (nil unless
+	// Config.CheckInvariants); invErr records the first violation.
+	inv    *InvariantChecker
+	invErr error
 }
 
 // NewMachine builds and wires a machine.
@@ -98,6 +115,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 	eng := sim.NewEngine()
 	mcfg := mesh.DefaultConfig(cfg.MeshWidth, cfg.MeshHeight)
 	mcfg.Contention = cfg.NetContention
+	mcfg.Faults = cfg.Faults
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
+	}
 	net := mesh.New(eng, mcfg)
 	n := net.Nodes()
 	st := stats.New(n)
@@ -119,6 +140,29 @@ func NewMachine(cfg Config) (*Machine, error) {
 			m.tables[i], cfg.Timing, st, cfg.Mode, cfg.SwitchCost)
 		p.SetFenceOnSync(cfg.FenceOnSync)
 		m.procs = append(m.procs, p)
+	}
+	if cfg.CheckInvariants {
+		m.inv = &InvariantChecker{kern: m.kern, cms: m.cms, skipConvergence: cfg.InvalidateMode}
+		period := cfg.InvariantPeriod
+		if period == 0 {
+			period = 10000
+		}
+		// The tick re-arms itself only while other events remain, so it
+		// never keeps an otherwise-drained engine alive; the first
+		// violation is recorded and checking stops.
+		var tick func()
+		tick = func() {
+			if m.invErr == nil {
+				if err := m.inv.Check(); err != nil {
+					m.invErr = fmt.Errorf("%w (at cycle %d)", err, eng.Now())
+					return
+				}
+			}
+			if eng.Pending() > 0 {
+				eng.Schedule(period, tick)
+			}
+		}
+		eng.Schedule(period, tick)
 	}
 	return m, nil
 }
@@ -148,6 +192,10 @@ func (m *Machine) EnableTrace(limit int) *stats.Tracer {
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Invariants returns the runtime invariant checker, or nil when
+// Config.CheckInvariants is off.
+func (m *Machine) Invariants() *InvariantChecker { return m.inv }
 
 // Now returns the current virtual time.
 func (m *Machine) Now() sim.Cycles { return m.eng.Now() }
@@ -247,6 +295,14 @@ func (m *Machine) Run() (sim.Cycles, error) {
 	}
 	if len(stuck) > 0 {
 		return m.elapsed, fmt.Errorf("core: deadlock — %d thread(s) never finished: %v", len(stuck), stuck)
+	}
+	if m.invErr != nil {
+		return m.elapsed, fmt.Errorf("core: invariant violated during run: %w", m.invErr)
+	}
+	if m.inv != nil {
+		if err := m.inv.Check(); err != nil {
+			return m.elapsed, fmt.Errorf("core: invariant violated after run: %w", err)
+		}
 	}
 	// In invalidate mode replicas legitimately hold stale words (marked
 	// invalid), so byte-identical copies are not expected.

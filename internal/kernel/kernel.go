@@ -46,6 +46,12 @@ type Kernel struct {
 	replicating map[refKey]bool
 	// Replications counts competitive replications triggered.
 	Replications uint64
+
+	// copiesInFlight counts background replications whose bulk page copy
+	// has not yet completed. Part of the quiescence predicate used by
+	// core's invariant checker: while a copy is in flight the new
+	// replica's contents legitimately lag its peers.
+	copiesInFlight int
 }
 
 type refKey struct {
@@ -212,9 +218,11 @@ func (k *Kernel) Replicate(vp memory.VPage, node mesh.NodeID, done func()) {
 	gp := memory.GPage{Node: node, Page: frame}
 	k.splice(vp, pos, gp)
 	pred := k.copyLists[vp][pos-1]
+	k.copiesInFlight++
 	k.cms[pred.Node].PageCopy(pred.Page, gp, func() {
 		// When the new page has been fully written, the node updates
 		// its address translation tables to use the new copy.
+		k.copiesInFlight--
 		k.tables[node].Install(vp, gp)
 		if done != nil {
 			done()
@@ -382,6 +390,13 @@ func (k *Kernel) Peek(va memory.VAddr) memory.Word {
 	}
 	return k.mems[list[0].Node].Read(list[0].Page, off)
 }
+
+// PageCount returns the number of virtual pages allocated so far.
+func (k *Kernel) PageCount() int { return int(k.nextVPage) }
+
+// CopiesInFlight returns the number of background page replications
+// whose bulk data copy is still travelling.
+func (k *Kernel) CopiesInFlight() int { return k.copiesInFlight }
 
 // CheckCoherent verifies that every copy of every page holds identical
 // contents — the general-coherence invariant after quiescence. It

@@ -19,10 +19,20 @@
 // struct delivered to a per-node Port, and Msg objects (with their
 // payload slices) are recycled through a free-list, so the message
 // path performs no per-send allocation and no interface boxing.
+//
+// An optional unreliable-network mode (FaultConfig) departs from the
+// paper's perfect interconnect: a seeded PRNG drops, duplicates and
+// delays messages deterministically at injection, and finite per-link
+// buffers bounce overflowing messages back to their sender as NACKs
+// instead of queueing unboundedly. The coherence layer's reliability
+// sublayer (internal/coherence) recovers from all of it; with every
+// fault knob at zero this file's behaviour is bit-identical to the
+// reliable network.
 package mesh
 
 import (
 	"fmt"
+	"math/rand"
 
 	"plus/internal/memory"
 	"plus/internal/node"
@@ -47,6 +57,82 @@ type Config struct {
 	Contention bool
 	// FlitCycles is the link occupancy per flit when Contention is on.
 	FlitCycles sim.Cycles
+	// Faults configures the unreliable-network mode. The zero value is
+	// the paper's perfect network.
+	Faults FaultConfig
+}
+
+// FaultConfig is the deterministic fault model for the unreliable
+// network mode. Faults are injected at Send from a PRNG seeded with
+// Seed, so a run with the same seed, configuration and traffic replays
+// the exact same fault sequence.
+type FaultConfig struct {
+	// Seed seeds the fault PRNG.
+	Seed int64
+	// DropRate is the probability in [0, 1] that an injected message is
+	// silently lost before reaching its destination.
+	DropRate float64
+	// DupRate is the probability that a delivered message arrives
+	// twice (the spurious copy one cycle behind the original).
+	DupRate float64
+	// DelayRate is the probability that a message suffers an extra
+	// delay, uniform in [1, DelayMax] cycles, on top of its modeled
+	// latency. Delays reorder traffic between node pairs.
+	DelayRate float64
+	// DelayMax bounds the injected delay; required when DelayRate > 0.
+	DelayMax sim.Cycles
+	// LinkBufFlits bounds the flits a directed link may hold queued
+	// (router buffering) when the contention model is on. A message
+	// whose path includes a link with more than LinkBufFlits flits
+	// already waiting is refused at injection and bounced back to the
+	// sender with Msg.Nacked set, after Base cycles (the reverse
+	// flow-control signal). 0 means unlimited buffering. Requires
+	// Contention, which models the queues being bounded.
+	LinkBufFlits int
+}
+
+// Enabled reports whether any part of the fault model is active — the
+// condition under which the coherence layer arms its reliability
+// sublayer.
+func (f FaultConfig) Enabled() bool {
+	return f.DropRate > 0 || f.DupRate > 0 || f.DelayRate > 0 || f.LinkBufFlits > 0
+}
+
+// lossy reports whether the PRNG-driven faults (drop/dup/delay) are on.
+func (f FaultConfig) lossy() bool {
+	return f.DropRate > 0 || f.DupRate > 0 || f.DelayRate > 0
+}
+
+// Validate reports whether the configuration is usable. mesh.New
+// panics on an invalid config; core.NewMachine returns the error.
+func (c Config) Validate() error {
+	rate := func(name string, r float64) error {
+		if r < 0 || r > 1 || r != r {
+			return fmt.Errorf("mesh: %s %v outside [0, 1]", name, r)
+		}
+		return nil
+	}
+	switch {
+	case c.Width < 1 || c.Height < 1:
+		return fmt.Errorf("mesh: invalid geometry %dx%d (dims must be positive)", c.Width, c.Height)
+	case c.Contention && c.FlitCycles < 1:
+		return fmt.Errorf("mesh: contention model requires FlitCycles >= 1 (got %d)", c.FlitCycles)
+	case c.Faults.LinkBufFlits < 0:
+		return fmt.Errorf("mesh: negative LinkBufFlits %d", c.Faults.LinkBufFlits)
+	case c.Faults.LinkBufFlits > 0 && !c.Contention:
+		return fmt.Errorf("mesh: LinkBufFlits requires the contention model (bounded buffers bound the contention queues)")
+	case c.Faults.DelayRate > 0 && c.Faults.DelayMax < 1:
+		return fmt.Errorf("mesh: DelayRate %v requires DelayMax >= 1", c.Faults.DelayRate)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"DropRate", c.Faults.DropRate}, {"DupRate", c.Faults.DupRate}, {"DelayRate", c.Faults.DelayRate}} {
+		if err := rate(r.name, r.v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper-calibrated mesh: one-way adjacent
@@ -83,10 +169,22 @@ type Msg struct {
 	Complete bool
 	// Origin is the requesting node, for replies and acks.
 	Origin NodeID
+	// Src is the hop sender, stamped by Send on every message. Unlike
+	// Origin (the protocol-level requester, preserved across forwards)
+	// Src identifies the node that injected this hop; the reliability
+	// sublayer keys its per-pair sequence spaces on it.
+	Src NodeID
 	// Dst is the destination node; set by Send (or by a sender that
 	// pre-stages the message before scheduling its entry into the
 	// network).
 	Dst NodeID
+	// Seq is the reliability sublayer's per-(Src, Dst) sequence number
+	// (0 when the transport is off; see internal/coherence).
+	Seq uint64
+	// Nacked marks a message bounced back to its sender by a full link
+	// buffer instead of being delivered (back-pressure). The receiver
+	// of a NACK owns the message and must recycle or re-send it.
+	Nacked bool
 	// ID is an origin-local request identifier (or delayed-op slot).
 	ID uint64
 	// Pid is a pending-writes entry for RMWs (0 = none).
@@ -104,6 +202,9 @@ type Msg struct {
 	Data []memory.Word
 	// Done is a simulation-side completion hook (page copy).
 	Done func()
+	// pooled guards the free-list: true while the message sits on it,
+	// so a double FreeMsg fails loudly instead of corrupting the pool.
+	pooled bool
 }
 
 // Port receives messages delivered to a node.
@@ -118,12 +219,19 @@ type PortFunc func(*Msg)
 // Deliver implements Port.
 func (f PortFunc) Deliver(m *Msg) { f(m) }
 
-// Stats aggregates network activity.
+// Stats aggregates network activity. Messages/Hops/Flits count logical
+// injections by senders; the fault counters record what the unreliable
+// network did to them (all zero with the fault model off).
 type Stats struct {
 	Messages  uint64     // total messages sent
 	Hops      uint64     // total link traversals
 	Flits     uint64     // total flits transferred (size units)
 	QueueWait sim.Cycles // total cycles spent queued behind busy links
+
+	Dropped    uint64 // messages lost to fault injection
+	Duplicated uint64 // spurious extra deliveries injected
+	Delayed    uint64 // messages given an extra random delay
+	Nacked     uint64 // messages refused by a full link buffer
 }
 
 // Mesh is the interconnection network. It is not safe for concurrent
@@ -140,16 +248,20 @@ type Mesh struct {
 	linkSlot []int32
 	linkFree []sim.Cycles
 	// free is the message free-list; AllocMsg/FreeMsg recycle Msg
-	// objects and their payload slices across protocol hops.
-	free  []*Msg
+	// objects and their payload slices across protocol hops. live
+	// tracks messages currently out of the pool, for balance checks.
+	free []*Msg
+	live int
+	// frand drives the fault model; nil when drop/dup/delay are all 0.
+	frand *rand.Rand
 	stats Stats
 }
 
 // New creates a mesh. Ports are registered per node with Attach before
 // any traffic is sent.
 func New(eng *sim.Engine, cfg Config) *Mesh {
-	if cfg.Width < 1 || cfg.Height < 1 {
-		panic(fmt.Sprintf("mesh: invalid geometry %dx%d", cfg.Width, cfg.Height))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	n := cfg.Width * cfg.Height
 	m := &Mesh{
@@ -157,6 +269,9 @@ func New(eng *sim.Engine, cfg Config) *Mesh {
 		eng:      eng,
 		ports:    make([]Port, n),
 		linkSlot: make([]int32, n*4),
+	}
+	if cfg.Faults.lossy() {
+		m.frand = rand.New(rand.NewSource(cfg.Faults.Seed))
 	}
 	// Assign each existing directed link a dense slot; edge nodes get
 	// exactly their real out-degree, so linkFree holds one entry per
@@ -203,6 +318,12 @@ func (m *Mesh) Stats() Stats { return m.stats }
 
 // Attach registers the message port for node id.
 func (m *Mesh) Attach(id NodeID, p Port) {
+	if int(id) < 0 || int(id) >= len(m.ports) {
+		panic(fmt.Sprintf("mesh: Attach of out-of-range node %d (mesh has %d nodes)", id, len(m.ports)))
+	}
+	if p == nil {
+		panic(fmt.Sprintf("mesh: Attach of nil port on node %d", id))
+	}
 	m.ports[id] = p
 }
 
@@ -211,19 +332,45 @@ func (m *Mesh) Attach(id NodeID, p Port) {
 // slices. Senders fill it and pass it to Send; the final consumer
 // returns it with FreeMsg.
 func (m *Mesh) AllocMsg() *Msg {
+	m.live++
 	if n := len(m.free); n > 0 {
 		ms := m.free[n-1]
 		m.free = m.free[:n-1]
+		ms.pooled = false
 		return ms
 	}
 	return &Msg{}
 }
 
 // FreeMsg recycles a message onto the free-list. The caller must not
-// retain the message or its slices afterwards.
+// retain the message or its slices afterwards. Freeing a message that
+// is already on the free-list panics: a double-free would hand the
+// same message to two owners and silently corrupt the protocol.
 func (m *Mesh) FreeMsg(ms *Msg) {
-	*ms = Msg{Writes: ms.Writes[:0], Data: ms.Data[:0]}
+	if ms.pooled {
+		panic("mesh: double free of pooled Msg")
+	}
+	*ms = Msg{Writes: ms.Writes[:0], Data: ms.Data[:0], pooled: true}
+	m.live--
 	m.free = append(m.free, ms)
+}
+
+// LiveMsgs returns the number of messages currently checked out of the
+// free-list (allocated and not yet freed). A drained simulation must
+// return to zero; the pool-balance tests pin that for the fault paths.
+func (m *Mesh) LiveMsgs() int { return m.live }
+
+// CloneMsg returns a pooled deep copy of src: all wire fields plus the
+// payload slices. Used by the fault injector's duplicate path and the
+// reliability sublayer's retransmit buffer.
+func (m *Mesh) CloneMsg(src *Msg) *Msg {
+	c := m.AllocMsg()
+	w, d := c.Writes, c.Data
+	*c = *src
+	c.pooled = false
+	c.Writes = append(w[:0], src.Writes...)
+	c.Data = append(d[:0], src.Data...)
+	return c
 }
 
 // Coord returns the (x, y) position of a node.
@@ -296,36 +443,135 @@ func (m *Mesh) Path(src, dst NodeID) []NodeID {
 	return path
 }
 
+// Delivery event kinds (sim.EventSink dispatch).
+const (
+	// evDeliver: the message arrives at its destination port.
+	evDeliver = iota
+	// evNack: a message refused by a full link buffer bounces back to
+	// its sender's port with Nacked set.
+	evNack
+)
+
 // Send routes a message of size flits from src to dst and delivers it
 // to the destination port after the modeled latency. sizeFlits must be
-// at least 1 (header flit). Delivery to an unattached node panics.
-// Send allocates nothing: the message rides the engine's typed event
-// path.
+// at least 1 (header flit). Sending from or to a node outside the mesh,
+// or to a node with no attached port, panics. Send allocates nothing:
+// the message rides the engine's typed event path.
+//
+// In unreliable-network mode the message may instead be dropped,
+// delivered twice, delayed, or — when a link buffer on its path is over
+// LinkBufFlits — bounced back to src as a NACK without touching the
+// network. A dropped message is recycled here; a NACKed message is
+// owned by the sender's port when the bounce arrives.
 func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 	if sizeFlits < 1 {
 		sizeFlits = 1
 	}
-	if m.ports[dst] == nil {
-		panic(fmt.Sprintf("mesh: send to unattached node %d", dst))
+	if int(src) < 0 || int(src) >= len(m.ports) {
+		panic(fmt.Sprintf("mesh: send from out-of-range node %d (mesh has %d nodes)", src, len(m.ports)))
 	}
-	ms.Dst = dst
+	if int(dst) < 0 || int(dst) >= len(m.ports) {
+		panic(fmt.Sprintf("mesh: send to out-of-range node %d (mesh has %d nodes)", dst, len(m.ports)))
+	}
+	if m.ports[dst] == nil {
+		panic(fmt.Sprintf("mesh: send to unattached node %d (no port registered with Attach)", dst))
+	}
+	ms.Src, ms.Dst = src, dst
 	hops := m.Hops(src, dst)
+	contending := m.cfg.Contention && hops > 0
+	// Bounded router buffers: refuse at injection when a link on the
+	// path has more than LinkBufFlits flits queued, and bounce the
+	// message back after Base cycles (the reverse flow-control signal).
+	if contending && m.cfg.Faults.LinkBufFlits > 0 && !m.admit(src, dst) {
+		m.stats.Nacked++
+		ms.Nacked = true
+		m.eng.ScheduleEvent(m.cfg.Base, m, evNack, ms)
+		return
+	}
 	m.stats.Messages++
 	m.stats.Hops += uint64(hops)
 	m.stats.Flits += uint64(sizeFlits)
-
+	// Loss is modeled at injection: a dropped message reserves no
+	// links and is recycled immediately.
+	if m.frand != nil && m.cfg.Faults.DropRate > 0 && m.frand.Float64() < m.cfg.Faults.DropRate {
+		m.stats.Dropped++
+		m.FreeMsg(ms)
+		return
+	}
 	lat := m.Latency(src, dst)
-	if m.cfg.Contention && hops > 0 {
+	if contending {
 		lat += m.contend(src, dst, sizeFlits)
 	}
-	m.eng.ScheduleEvent(lat, m, 0, ms)
+	if m.frand != nil {
+		// A duplicate arrives one cycle behind the original (it shares
+		// the original's link reservations — an approximation).
+		if r := m.cfg.Faults.DupRate; r > 0 && m.frand.Float64() < r {
+			m.stats.Duplicated++
+			m.eng.ScheduleEvent(lat+1, m, evDeliver, m.CloneMsg(ms))
+		}
+		if r := m.cfg.Faults.DelayRate; r > 0 && m.frand.Float64() < r {
+			m.stats.Delayed++
+			lat += 1 + sim.Cycles(m.frand.Int63n(int64(m.cfg.Faults.DelayMax)))
+		}
+	}
+	m.eng.ScheduleEvent(lat, m, evDeliver, ms)
 }
 
 // HandleEvent implements sim.EventSink: a message scheduled by Send
-// arrives at its destination port.
-func (m *Mesh) HandleEvent(_ int, data any) {
+// arrives at its destination port (evDeliver) or bounces back to its
+// sender (evNack).
+func (m *Mesh) HandleEvent(kind int, data any) {
 	ms := data.(*Msg)
+	if kind == evNack {
+		if m.ports[ms.Src] == nil {
+			panic(fmt.Sprintf("mesh: NACK to unattached sender %d", ms.Src))
+		}
+		m.ports[ms.Src].Deliver(ms)
+		return
+	}
 	m.ports[ms.Dst].Deliver(ms)
+}
+
+// admit reports whether a message can enter the network without
+// overflowing a link buffer: every directed link on its dimension-
+// ordered path must have at most LinkBufFlits flits queued. Backlog is
+// measured at injection time (an approximation: the far links will
+// partially drain by the time the header reaches them), in cycles of
+// occupancy — wormhole switching streams a long message through, so
+// the bound applies to waiting traffic, not to the message's own size.
+func (m *Mesh) admit(src, dst NodeID) bool {
+	bufCap := sim.Cycles(m.cfg.Faults.LinkBufFlits) * m.cfg.FlitCycles
+	t := m.eng.Now()
+	x, y := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	for x != dx || y != dy {
+		var dir int
+		switch {
+		case x < dx:
+			dir = dirEast
+		case x > dx:
+			dir = dirWest
+		case y < dy:
+			dir = dirSouth
+		default:
+			dir = dirNorth
+		}
+		li := m.linkIndex(m.ID(x, y), dir)
+		if m.linkFree[li] > t && m.linkFree[li]-t > bufCap {
+			return false
+		}
+		switch dir {
+		case dirEast:
+			x++
+		case dirWest:
+			x--
+		case dirSouth:
+			y++
+		default:
+			y--
+		}
+	}
+	return true
 }
 
 // contend reserves each directed link on the path and returns the

@@ -38,5 +38,9 @@ func (m *Machine) Report(elapsed sim.Cycles) string {
 		fmt.Fprintf(&b, "invalidate mode: %d invalidations, %d refetch misses\n",
 			t.Invalidations, t.InvalidateMisses)
 	}
+	if m.MsgTAck > 0 || m.Retransmits > 0 || m.TransStalls > 0 {
+		fmt.Fprintf(&b, "transport: %d tacks, %d retransmits, %d dup drops, %d gap drops, %d backpressure stalls\n",
+			m.MsgTAck, m.Retransmits, m.TransDups, m.TransGaps, m.TransStalls)
+	}
 	return b.String()
 }

@@ -53,6 +53,14 @@ type Machine struct {
 	MsgRMW     uint64 // delayed-operation requests
 	MsgRMWRep  uint64 // delayed-operation replies
 	MsgPage    uint64 // page-copy traffic
+
+	// Unreliable-network mode counters (all zero when the fault model
+	// is off; see mesh.FaultConfig and coherence/transport.go).
+	MsgTAck     uint64 // transport acks sent by the reliability sublayer
+	Retransmits uint64 // messages re-sent by retransmit timers
+	TransDups   uint64 // arrivals dropped as duplicates (seq already seen)
+	TransGaps   uint64 // arrivals dropped as out-of-order (gap after a loss)
+	TransStalls uint64 // sends bounced by a full link buffer (back-pressure)
 }
 
 // New returns a stats block for n nodes.
@@ -93,7 +101,7 @@ func (m *Machine) Totals() Node {
 // protocol types.
 func (m *Machine) Messages() uint64 {
 	return m.MsgRead + m.MsgReadRep + m.MsgWrite + m.MsgUpdate +
-		m.MsgAck + m.MsgRMW + m.MsgRMWRep + m.MsgPage
+		m.MsgAck + m.MsgRMW + m.MsgRMWRep + m.MsgPage + m.MsgTAck
 }
 
 // ReadRatio returns local/remote reads (∞ is reported as a large

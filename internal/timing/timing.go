@@ -46,6 +46,14 @@ type Timing struct {
 	// CMProcess is the coherence-manager handling cost of one
 	// write/update/read-request hop. [chosen: 8]
 	CMProcess sim.Cycles
+	// RetransTimeout is the reliability sublayer's base retransmission
+	// timeout in unreliable-network mode: how long a sender waits for a
+	// transport ack before re-sending its unacknowledged messages. It
+	// doubles on every timeout or back-pressure NACK (exponential
+	// backoff, capped at 16x base). Unused on a reliable network.
+	// [chosen: 512 — comfortably above the worst uncontended round trip
+	// plus coherence-manager processing]
+	RetransTimeout sim.Cycles
 
 	// PageFault is the kernel cost of a lazy page-table fill: checking
 	// the centralized map and updating the local tables (§2.4).
@@ -84,6 +92,7 @@ func Default() Timing {
 		LocalMemRead:       6,
 		WriteIssue:         2,
 		CMProcess:          8,
+		RetransTimeout:     512,
 		PageFault:          2000,
 		TLBRefill:          20,
 		PageCopyPerWord:    4,
@@ -102,6 +111,8 @@ func (t Timing) Validate() error {
 		return errTiming("MaxDelayedOps must be >= 1")
 	case t.MaxQueueSize < 2 || t.MaxQueueSize > 1<<10:
 		return errTiming("MaxQueueSize must be in [2, 1024]")
+	case t.RetransTimeout < 1:
+		return errTiming("RetransTimeout must be >= 1")
 	}
 	return nil
 }
