@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench vet fmt lint experiments experiments-quick golden examples clean
+.PHONY: all check build test race bench bench-json vet fmt lint experiments experiments-quick golden examples clean
 
 all: check
 
 # The default gate: everything a PR must keep green.
-check: build test race lint
+check: build test race lint bench-json
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ test-log:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Quick sweeps through the parallel runner with self-timing: writes
+# BENCH_<date>.json (per-experiment wall-clock, point count, workers)
+# so the worker-pool speedup stays visible and trackable over time.
+bench-json:
+	$(GO) run ./cmd/plusbench -quick -exp all -timing BENCH_$$(date +%Y-%m-%d).json >/dev/null
 
 vet:
 	$(GO) vet ./...

@@ -175,7 +175,11 @@ func Reference(cfg Config) []uint32 {
 	return score
 }
 
-// Run executes the workload.
+// Run executes the workload.//
+// Run is safe for concurrent use by the experiments sweep runner:
+// every call builds a private machine (its own sim.Engine, mesh,
+// stats and locally seeded RNGs) and shares no mutable state with
+// other calls, so one fresh engine may run per worker goroutine.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	mcfg := core.DefaultConfig(cfg.MeshW, cfg.MeshH)

@@ -109,7 +109,11 @@ func seedGrid(n int) []uint32 {
 	return g
 }
 
-// Run executes the workload.
+// Run executes the workload.//
+// Run is safe for concurrent use by the experiments sweep runner:
+// every call builds a private machine (its own sim.Engine, mesh,
+// stats and locally seeded RNGs) and shares no mutable state with
+// other calls, so one fresh engine may run per worker goroutine.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	m, err := core.NewMachine(core.DefaultConfig(cfg.MeshW, cfg.MeshH))

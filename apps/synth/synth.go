@@ -99,7 +99,11 @@ type Result struct {
 	Report string
 }
 
-// Run executes the load.
+// Run executes the load.//
+// Run is safe for concurrent use by the experiments sweep runner:
+// every call builds a private machine (its own sim.Engine, mesh,
+// stats and locally seeded RNGs) and shares no mutable state with
+// other calls, so one fresh engine may run per worker goroutine.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	var mcfg core.Config

@@ -23,7 +23,7 @@ func BenchmarkTable2_1(b *testing.B) {
 	var rows []experiments.Table21Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Table21(experiments.Table21Config{Quick: true})
+		rows, err = experiments.Table21(experiments.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -39,7 +39,7 @@ func BenchmarkFigure2_1(b *testing.B) {
 	var pts []experiments.Fig21Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.Figure21(experiments.Fig21Config{Quick: true})
+		pts, err = experiments.Figure21(experiments.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func BenchmarkTable3_1(b *testing.B) {
 	var rows []experiments.Table31Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Table31()
+		rows, err = experiments.Table31(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func BenchmarkFigure3_1(b *testing.B) {
 	var pts []experiments.Fig31Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.Figure31(experiments.Fig31Config{Quick: true})
+		pts, err = experiments.Figure31(experiments.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +106,7 @@ func BenchmarkSection3_1Costs(b *testing.B) {
 	var rows []experiments.CostRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Section31Costs()
+		rows, err = experiments.Section31Costs(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func BenchmarkAblationFence(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.AblationFence(true)
+		rows, err = experiments.AblationFence(experiments.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func BenchmarkAblationPendingWrites(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.AblationPendingWrites(true)
+		rows, err = experiments.AblationPendingWrites(experiments.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func BenchmarkAblationPendingWrites(b *testing.B) {
 // BenchmarkAblationDelayedSlots sweeps the delayed-op cache depth.
 func BenchmarkAblationDelayedSlots(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationDelayedSlots(true); err != nil {
+		if _, err := experiments.AblationDelayedSlots(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,7 +156,7 @@ func BenchmarkAblationDelayedSlots(b *testing.B) {
 // BenchmarkAblationContention toggles the link-contention model.
 func BenchmarkAblationContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationContention(true); err != nil {
+		if _, err := experiments.AblationContention(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +166,7 @@ func BenchmarkAblationContention(b *testing.B) {
 // threshold.
 func BenchmarkAblationCompetitive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationCompetitive(true); err != nil {
+		if _, err := experiments.AblationCompetitive(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,13 +1,19 @@
 // Command plusbench regenerates every table and figure of the PLUS
-// paper's evaluation, plus the ablation sweeps, printing the same rows
-// the paper reports.
+// paper's evaluation, plus the ablation sweeps, through the
+// experiments registry.
 //
 // Usage:
 //
-//	plusbench [-exp all|table2-1|figure2-1|table3-1|figure3-1|costs|ablations|faults] [-quick] [-full-procs N]
+//	plusbench [-exp all|ablations|<name>[,<name>...]] [-quick] [-json]
+//	          [-parallel N] [-chart] [-max-procs N] [-timing FILE] [-list]
 //
-// -faults runs only the unreliable-network sweep and additionally
-// emits its rows as JSON.
+// Every experiment is a sweep of independent simulation points run on
+// a worker pool of -parallel goroutines (default GOMAXPROCS); stdout
+// is byte-identical for any -parallel value. -json replaces the
+// tables with one JSON array of {experiment, title, points, rows}
+// objects. -timing writes a BENCH_<date>.json-style self-timing
+// report (per-experiment wall-clock, point count, workers) so the
+// parallel speedup stays trackable.
 //
 // Results print to stdout; EXPERIMENTS.md records a reference run.
 package main
@@ -17,112 +23,89 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"plus/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table2-1, figure2-1, table3-1, figure3-1, costs, ablations, faults")
+	exp := flag.String("exp", "all", "experiments to run: all, ablations, or comma-separated registry names (see -list)")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast run")
 	maxProcs := flag.Int("max-procs", 0, "cap the processor sweep (0 = experiment default)")
+	parallel := flag.Int("parallel", 0, "sweep-point worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit rows as a JSON array instead of tables")
 	chart := flag.Bool("chart", false, "render the figures as ASCII charts as well")
-	faults := flag.Bool("faults", false, "run only the fault sweep and also emit its rows as JSON")
+	timing := flag.String("timing", "", "write a JSON self-timing report to this file")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
-	if *faults {
-		*exp = "faults"
+
+	if *list {
+		for _, e := range experiments.Registered() {
+			fmt.Printf("%-24s %s\n", e.Name, e.Title)
+		}
+		return
 	}
 
-	run := func(name string, fn func() (string, error)) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		out, err := fn()
+	sel, err := experiments.Select(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plusbench: %v\n", err)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Workers: *parallel}
+	report := experiments.Report{
+		Date:       time.Now().Format("2006-01-02"),
+		Quick:      *quick,
+		Workers:    opts.WorkerCount(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	var results []*experiments.Result
+	start := time.Now()
+	for _, e := range sel {
+		t0 := time.Now()
+		res, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "plusbench: %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "plusbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		report.Experiments = append(report.Experiments, experiments.Timing{
+			Experiment: e.Name,
+			Points:     res.Points,
+			Workers:    report.Workers,
+			WallMS:     float64(time.Since(t0).Microseconds()) / 1e3,
+		})
+		if *jsonOut {
+			results = append(results, res)
+			continue
+		}
+		fmt.Println(res.Table)
+		if *chart && res.Chart != "" {
+			fmt.Println(res.Chart)
+		}
 	}
+	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1e3
 
-	run("table2-1", func() (string, error) {
-		rows, err := experiments.Table21(experiments.Table21Config{Quick: *quick})
+	if *jsonOut {
+		enc, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
-			return "", err
+			fmt.Fprintf(os.Stderr, "plusbench: marshal: %v\n", err)
+			os.Exit(1)
 		}
-		return experiments.FormatTable21(rows), nil
-	})
-	run("figure2-1", func() (string, error) {
-		pts, err := experiments.Figure21(experiments.Fig21Config{Quick: *quick, MaxProcs: *maxProcs})
+		fmt.Println(string(enc))
+	}
+	if *timing != "" {
+		enc, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
-			return "", err
+			fmt.Fprintf(os.Stderr, "plusbench: marshal timing: %v\n", err)
+			os.Exit(1)
 		}
-		out := experiments.FormatFigure21(pts)
-		if *chart {
-			out += "\n" + experiments.ChartFigure21(pts)
+		if err := os.WriteFile(*timing, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: write timing: %v\n", err)
+			os.Exit(1)
 		}
-		return out, nil
-	})
-	run("table3-1", func() (string, error) {
-		rows, err := experiments.Table31()
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatTable31(rows), nil
-	})
-	run("figure3-1", func() (string, error) {
-		pts, err := experiments.Figure31(experiments.Fig31Config{Quick: *quick, MaxProcs: *maxProcs})
-		if err != nil {
-			return "", err
-		}
-		out := experiments.FormatFigure31(pts)
-		if *chart {
-			out += "\n" + experiments.ChartFigure31(pts)
-		}
-		return out, nil
-	})
-	run("costs", func() (string, error) {
-		rows, err := experiments.Section31Costs()
-		if err != nil {
-			return "", err
-		}
-		return experiments.FormatCosts(rows), nil
-	})
-	run("ablations", func() (string, error) {
-		out := ""
-		for _, a := range []struct {
-			title string
-			fn    func(bool) ([]experiments.AblationRow, error)
-		}{
-			{"Ablation: explicit fence vs fence-at-every-sync", experiments.AblationFence},
-			{"Ablation: write-update vs write-invalidate", experiments.AblationInvalidate},
-			{"Ablation: pending-writes cache depth", experiments.AblationPendingWrites},
-			{"Ablation: delayed-operations cache depth", experiments.AblationDelayedSlots},
-			{"Ablation: network contention model", experiments.AblationContention},
-			{"Ablation: competitive replication threshold", experiments.AblationCompetitive},
-			{"Extension: PLUS vs software shared virtual memory (§4)", experiments.ExtensionSoftwareDSM},
-			{"Extension: profile-guided placement (§2.4 second mode)", experiments.ExtensionProfilePlacement},
-		} {
-			rows, err := a.fn(*quick)
-			if err != nil {
-				return "", fmt.Errorf("%s: %w", a.title, err)
-			}
-			out += experiments.FormatAblation(a.title, rows) + "\n"
-		}
-		return out, nil
-	})
-	run("faults", func() (string, error) {
-		rows, err := experiments.FaultSweep(experiments.FaultSweepConfig{Quick: *quick})
-		if err != nil {
-			return "", err
-		}
-		out := experiments.FormatFaultSweep(rows)
-		if *faults {
-			j, err := json.MarshalIndent(rows, "", "  ")
-			if err != nil {
-				return "", err
-			}
-			out += "\n" + string(j)
-		}
-		return out, nil
-	})
+		fmt.Fprintf(os.Stderr, "plusbench: %d experiment(s), %d worker(s), %.0f ms total -> %s\n",
+			len(report.Experiments), report.Workers, report.TotalWallMS, *timing)
+	}
 }

@@ -9,7 +9,7 @@ import "testing"
 func BenchmarkFigure21Quick(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Figure21(Fig21Config{Quick: true, MaxProcs: 8}); err != nil {
+		if _, err := Figure21(Options{Quick: true, MaxProcs: 8}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -20,7 +20,7 @@ func BenchmarkFigure21Quick(b *testing.B) {
 func BenchmarkTable21Quick(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Table21(Table21Config{Quick: true}); err != nil {
+		if _, err := Table21(Options{Quick: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

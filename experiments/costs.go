@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"plus/internal/coherence"
 	"plus/internal/core"
@@ -18,118 +17,144 @@ func defaultMachine(w, h int) core.Config { return core.DefaultConfig(w, h) }
 
 // Table31Row is one delayed operation's measured cost decomposition.
 type Table31Row struct {
-	Op           coherence.Op
-	PaperCycles  sim.Cycles // Table 3-1's execution-cycles column
-	MeasuredExec sim.Cycles // recovered from an end-to-end measurement
-	EndToEnd     sim.Cycles // full blocking issue→verify time, 1 hop
+	Op           coherence.Op `json:"op"`
+	PaperCycles  sim.Cycles   `json:"paper_cycles"`    // Table 3-1's execution-cycles column
+	MeasuredExec sim.Cycles   `json:"measured_cycles"` // recovered from an end-to-end measurement
+	EndToEnd     sim.Cycles   `json:"end_to_end"`      // full blocking issue→verify time, 1 hop
 }
 
-// Table31 measures every delayed operation between adjacent nodes and
-// recovers the coherence manager's execution time by subtracting the
-// documented issue, network and result-read components — verifying
-// the implementation charges exactly the paper's 39/52 cycles.
-func Table31() ([]Table31Row, error) {
-	var rows []Table31Row
+// table31Points measures every delayed operation between adjacent
+// nodes and recovers the coherence manager's execution time by
+// subtracting the documented issue, network and result-read
+// components — verifying the implementation charges exactly the
+// paper's 39/52 cycles.
+func table31Points(Options) []Point[Table31Row] {
+	var pts []Point[Table31Row]
 	for _, op := range coherence.Ops() {
 		op := op
-		mcfg := defaultMachine(2, 1)
-		m, err := core.NewMachine(mcfg)
-		if err != nil {
-			return nil, err
-		}
-		tm := mcfg.Timing
-		target := m.Alloc(1, 1) // master on the remote node
-		// Queue ops address a control word holding an offset.
-		va := target
-		if op == coherence.OpQueue || op == coherence.OpDequeue {
-			va = target + memory.VAddr(tm.MaxQueueSize)
-		}
-		// Dequeue needs an occupied slot to pop.
-		if op == coherence.OpDequeue {
-			m.Poke(target, memory.TopBit|7)
-		}
-		var elapsed sim.Cycles
-		m.Spawn(0, func(t *proc.Thread) {
-			t.Read(target) // fault the mapping in before timing
-			start := t.Now()
-			t.Verify(t.Issue(op, va, 1))
-			elapsed = t.Now() - start
-		})
-		if _, err := m.Run(); err != nil {
-			return nil, fmt.Errorf("table 3-1 %v: %w", op, err)
-		}
-		oneWay := m.Mesh().Latency(0, 1)
-		overheads := tm.DelayedIssue + 2*oneWay + tm.CMProcess + tm.ResultRead
-		rows = append(rows, Table31Row{
-			Op:           op,
-			PaperCycles:  op.ExecCycles(tm),
-			MeasuredExec: elapsed - overheads,
-			EndToEnd:     elapsed,
+		pts = append(pts, Point[Table31Row]{
+			Name: fmt.Sprintf("table 3-1 %v", op),
+			Tags: map[string]string{"op": op.String()},
+			Run: func() (Table31Row, error) {
+				mcfg := defaultMachine(2, 1)
+				m, err := core.NewMachine(mcfg)
+				if err != nil {
+					return Table31Row{}, err
+				}
+				tm := mcfg.Timing
+				target := m.Alloc(1, 1) // master on the remote node
+				// Queue ops address a control word holding an offset.
+				va := target
+				if op == coherence.OpQueue || op == coherence.OpDequeue {
+					va = target + memory.VAddr(tm.MaxQueueSize)
+				}
+				// Dequeue needs an occupied slot to pop.
+				if op == coherence.OpDequeue {
+					m.Poke(target, memory.TopBit|7)
+				}
+				var elapsed sim.Cycles
+				m.Spawn(0, func(t *proc.Thread) {
+					t.Read(target) // fault the mapping in before timing
+					start := t.Now()
+					t.Verify(t.Issue(op, va, 1))
+					elapsed = t.Now() - start
+				})
+				if _, err := m.Run(); err != nil {
+					return Table31Row{}, err
+				}
+				oneWay := m.Mesh().Latency(0, 1)
+				overheads := tm.DelayedIssue + 2*oneWay + tm.CMProcess + tm.ResultRead
+				return Table31Row{
+					Op:           op,
+					PaperCycles:  op.ExecCycles(tm),
+					MeasuredExec: elapsed - overheads,
+					EndToEnd:     elapsed,
+				}, nil
+			},
 		})
 	}
-	return rows, nil
+	return pts
+}
+
+// Table31 measures the cost of every delayed operation (Table 3-1).
+func Table31(o Options) ([]Table31Row, error) {
+	return RunPoints(table31Points(o), o.Workers)
 }
 
 // FormatTable31 renders the measurement against the paper's numbers.
 func FormatTable31(rows []Table31Row) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 3-1: delayed-operation execution cycles (adjacent nodes)\n")
-	fmt.Fprintf(&b, "%-16s %8s %10s %10s\n", "Operation", "Paper", "Measured", "EndToEnd")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s %8d %10d %10d\n", r.Op, r.PaperCycles, r.MeasuredExec, r.EndToEnd)
-	}
-	return b.String()
+	return renderTable("Table 3-1: delayed-operation execution cycles (adjacent nodes)",
+		[]col{{"Operation", -16}, {"Paper", 8}, {"Measured", 10}, {"EndToEnd", 10}},
+		cells(rows, func(r Table31Row) []string {
+			return []string{
+				r.Op.String(), fmt.Sprint(r.PaperCycles),
+				fmt.Sprint(r.MeasuredExec), fmt.Sprint(r.EndToEnd),
+			}
+		}))
 }
 
 // --- §3.1 cost anatomy: latency vs hop distance -------------------------
 
 // CostRow is one hop-distance sample of the §3.1 cost anatomy.
 type CostRow struct {
-	Hops       int
-	RemoteRead sim.Cycles // blocking read: "32 cycles plus round trip"
-	BlockFadd  sim.Cycles // blocking fetch-and-add end to end
-	RoundTrip  sim.Cycles // 24 cycles adjacent, +4 per extra hop
+	Hops       int        `json:"hops"`
+	RemoteRead sim.Cycles `json:"remote_read"` // blocking read: "32 cycles plus round trip"
+	BlockFadd  sim.Cycles `json:"block_fadd"`  // blocking fetch-and-add end to end
+	RoundTrip  sim.Cycles `json:"round_trip"`  // 24 cycles adjacent, +4 per extra hop
 }
 
-// Section31Costs measures remote-read and blocking-fadd latency at
+// costsPoints measures remote-read and blocking-fadd latency at
 // increasing hop distance on an 8x1 mesh, reproducing the paper's
 // "round trip ... about 24 cycles; each extra hop adds 4 cycles" and
 // "remote read is about 32 cycles plus the round-trip delay".
-func Section31Costs() ([]CostRow, error) {
-	var rows []CostRow
+func costsPoints(Options) []Point[CostRow] {
+	var pts []Point[CostRow]
 	for hops := 1; hops <= 7; hops++ {
-		m, err := core.NewMachine(defaultMachine(8, 1))
-		if err != nil {
-			return nil, err
-		}
-		dst := mesh.NodeID(hops)
-		data := m.Alloc(dst, 1)
-		var readT, faddT sim.Cycles
-		m.Spawn(0, func(t *proc.Thread) {
-			t.Read(data) // fault the mapping in before timing
-			s := t.Now()
-			t.Read(data)
-			readT = t.Now() - s
-			s = t.Now()
-			t.FaddSync(data, 1)
-			faddT = t.Now() - s
+		hops := hops
+		pts = append(pts, Point[CostRow]{
+			Name: fmt.Sprintf("costs hops=%d", hops),
+			Tags: map[string]string{"hops": fmt.Sprint(hops)},
+			Run: func() (CostRow, error) {
+				m, err := core.NewMachine(defaultMachine(8, 1))
+				if err != nil {
+					return CostRow{}, err
+				}
+				dst := mesh.NodeID(hops)
+				data := m.Alloc(dst, 1)
+				var readT, faddT sim.Cycles
+				m.Spawn(0, func(t *proc.Thread) {
+					t.Read(data) // fault the mapping in before timing
+					s := t.Now()
+					t.Read(data)
+					readT = t.Now() - s
+					s = t.Now()
+					t.FaddSync(data, 1)
+					faddT = t.Now() - s
+				})
+				if _, err := m.Run(); err != nil {
+					return CostRow{}, err
+				}
+				rt := m.Mesh().Latency(0, dst) * 2
+				return CostRow{Hops: hops, RemoteRead: readT, BlockFadd: faddT, RoundTrip: rt}, nil
+			},
 		})
-		if _, err := m.Run(); err != nil {
-			return nil, err
-		}
-		rt := m.Mesh().Latency(0, dst) * 2
-		rows = append(rows, CostRow{Hops: hops, RemoteRead: readT, BlockFadd: faddT, RoundTrip: rt})
 	}
-	return rows, nil
+	return pts
+}
+
+// Section31Costs runs the hop-distance sweep.
+func Section31Costs(o Options) ([]CostRow, error) {
+	return RunPoints(costsPoints(o), o.Workers)
 }
 
 // FormatCosts renders the hop sweep.
 func FormatCosts(rows []CostRow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Section 3.1 cost anatomy vs hop distance (8x1 mesh)\n")
-	fmt.Fprintf(&b, "%-6s %12s %12s %12s\n", "Hops", "RoundTrip", "RemoteRead", "BlockFadd")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-6d %12d %12d %12d\n", r.Hops, r.RoundTrip, r.RemoteRead, r.BlockFadd)
-	}
-	return b.String()
+	return renderTable("Section 3.1 cost anatomy vs hop distance (8x1 mesh)",
+		[]col{{"Hops", -6}, {"RoundTrip", 12}, {"RemoteRead", 12}, {"BlockFadd", 12}},
+		cells(rows, func(r CostRow) []string {
+			return []string{
+				fmt.Sprint(r.Hops), fmt.Sprint(r.RoundTrip),
+				fmt.Sprint(r.RemoteRead), fmt.Sprint(r.BlockFadd),
+			}
+		}))
 }

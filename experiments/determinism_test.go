@@ -15,7 +15,7 @@ import (
 // state from one run into the next.
 func TestCrossRunDeterminism(t *testing.T) {
 	run := func() string {
-		rows, err := Table21(Table21Config{Quick: true})
+		rows, err := Table21(Options{Quick: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,13 +1,17 @@
 // Package experiments regenerates every table and figure of the PLUS
-// paper's evaluation, plus the ablations called out in DESIGN.md. Each
-// experiment returns structured rows and renders the same table the
-// paper prints; cmd/plusbench and the repository-root benchmarks are
-// thin wrappers over this package.
+// paper's evaluation, plus the ablations called out in DESIGN.md.
+//
+// Every experiment is expressed as a sweep of Points — independent
+// single-threaded simulations — executed by RunPoints on a bounded
+// worker pool and rendered through one shared table renderer; the
+// registry in registry.go gives cmd/plusbench a uniform way to run
+// any of them and emit rows as JSON. Serial and parallel executions
+// are byte-identical by construction: each point builds a private
+// machine (its own sim.Engine) and results return in point order.
 package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"plus/apps/beam"
 	"plus/apps/sssp"
@@ -38,122 +42,117 @@ func meshFor(p int) (w, h int) {
 
 // Table21Row is one replication level of Table 2-1.
 type Table21Row struct {
-	Copies      int
-	ReadRatio   float64 // reads local/remote
-	WriteRatio  float64 // writes local/remote
-	UpdateRatio float64 // total messages / update messages
-	Messages    uint64
-	Updates     uint64
-	Elapsed     sim.Cycles
+	Copies      int        `json:"copies"`
+	ReadRatio   float64    `json:"read_ratio"`   // reads local/remote
+	WriteRatio  float64    `json:"write_ratio"`  // writes local/remote
+	UpdateRatio float64    `json:"update_ratio"` // total messages / update messages
+	Messages    uint64     `json:"messages"`
+	Updates     uint64     `json:"updates"`
+	Elapsed     sim.Cycles `json:"elapsed_cycles"`
 }
 
-// Table21Config scales the experiment. Quick shrinks the graph for
-// fast test runs.
-type Table21Config struct {
-	Quick bool
-}
-
-// Table21 runs SSSP on 16 processors at replication levels 1..5
-// (the paper's Table 2-1 setup: "the 16-processor case of Figure
-// 2-1").
-func Table21(cfg Table21Config) ([]Table21Row, error) {
+// table21Points builds the five replication levels of Table 2-1 (the
+// paper's "the 16-processor case of Figure 2-1"): SSSP on 16
+// processors at copies 1..5.
+func table21Points(o Options) []Point[Table21Row] {
 	vertices := 1024
-	if cfg.Quick {
+	if o.Quick {
 		vertices = 256
 	}
-	var rows []Table21Row
+	var pts []Point[Table21Row]
 	for copies := 1; copies <= 5; copies++ {
-		res, err := sssp.Run(sssp.Config{
-			MeshW: 4, MeshH: 4, Procs: 16,
-			Vertices: vertices, Degree: 4, Seed: 42,
-			Copies: copies, Validate: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("table 2-1 copies=%d: %w", copies, err)
-		}
-		rows = append(rows, Table21Row{
-			Copies:      copies,
-			ReadRatio:   res.ReadRatio,
-			WriteRatio:  res.WriteRatio,
-			UpdateRatio: res.UpdateRatio,
-			Messages:    res.Messages,
-			Updates:     res.Updates,
-			Elapsed:     res.Elapsed,
+		copies := copies
+		pts = append(pts, Point[Table21Row]{
+			Name: fmt.Sprintf("table 2-1 copies=%d", copies),
+			Tags: map[string]string{"copies": fmt.Sprint(copies)},
+			Run: func() (Table21Row, error) {
+				res, err := sssp.Run(sssp.Config{
+					MeshW: 4, MeshH: 4, Procs: 16,
+					Vertices: vertices, Degree: 4, Seed: 42,
+					Copies: copies, Validate: true,
+				})
+				if err != nil {
+					return Table21Row{}, err
+				}
+				return Table21Row{
+					Copies:      copies,
+					ReadRatio:   res.ReadRatio,
+					WriteRatio:  res.WriteRatio,
+					UpdateRatio: res.UpdateRatio,
+					Messages:    res.Messages,
+					Updates:     res.Updates,
+					Elapsed:     res.Elapsed,
+				}, nil
+			},
 		})
 	}
-	return rows, nil
+	return pts
+}
+
+// Table21 runs the replication sweep (exported for tests and the
+// repository-root benchmarks; plusbench goes through the registry).
+func Table21(o Options) ([]Table21Row, error) {
+	return RunPoints(table21Points(o), o.Workers)
 }
 
 // FormatTable21 renders rows like the paper's Table 2-1.
 func FormatTable21(rows []Table21Row) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 2-1: Effect of Replication on Messages (SSSP, 16 procs)\n")
-	fmt.Fprintf(&b, "%-8s %12s %12s %12s %10s %10s\n",
-		"Copies", "Reads L/R", "Writes L/R", "Total/Upd", "Messages", "Elapsed")
-	for _, r := range rows {
-		upd := "-"
-		if r.Updates > 0 {
-			upd = fmt.Sprintf("%.2f", r.UpdateRatio)
-		}
-		fmt.Fprintf(&b, "%-8d %12.2f %12.2f %12s %10d %10d\n",
-			r.Copies, r.ReadRatio, r.WriteRatio, upd, r.Messages, r.Elapsed)
-	}
-	return b.String()
+	return renderTable("Table 2-1: Effect of Replication on Messages (SSSP, 16 procs)",
+		[]col{{"Copies", -8}, {"Reads L/R", 12}, {"Writes L/R", 12},
+			{"Total/Upd", 12}, {"Messages", 10}, {"Elapsed", 10}},
+		cells(rows, func(r Table21Row) []string {
+			upd := "-"
+			if r.Updates > 0 {
+				upd = fmt.Sprintf("%.2f", r.UpdateRatio)
+			}
+			return []string{
+				fmt.Sprint(r.Copies),
+				fmt.Sprintf("%.2f", r.ReadRatio),
+				fmt.Sprintf("%.2f", r.WriteRatio),
+				upd,
+				fmt.Sprint(r.Messages),
+				fmt.Sprint(r.Elapsed),
+			}
+		}))
 }
 
 // --- Figure 2-1: SSSP efficiency & utilization vs processors -----------
 
 // Fig21Point is one (processors, replication) sample.
 type Fig21Point struct {
-	Procs       int
-	Replicated  bool
-	Copies      int
-	Elapsed     sim.Cycles
-	Efficiency  float64
-	Utilization float64
+	Procs       int        `json:"procs"`
+	Replicated  bool       `json:"replicated"`
+	Copies      int        `json:"copies"`
+	Elapsed     sim.Cycles `json:"elapsed_cycles"`
+	Efficiency  float64    `json:"efficiency"`
+	Utilization float64    `json:"utilization"`
 }
 
-// Fig21Config scales the experiment.
-type Fig21Config struct {
-	Quick bool
-	// MaxProcs truncates the sweep (default 64; quick default 16).
-	MaxProcs int
-}
-
-// Figure21 sweeps processors with and without replication. Efficiency
-// is T(1)/(P·T(P)) with T(1) measured on the same simulator.
-func Figure21(cfg Fig21Config) ([]Fig21Point, error) {
+// figure21Points sweeps processors with and without replication; with
+// contention it is the ROADMAP's Figure 2-1-style contention-on sweep
+// (NetContention, 8x8 mesh at the full 64 processors). Efficiency is
+// filled in afterwards by fillFig21Efficiency from the p=1 point of
+// the same sweep, so the normalization base shares the contention
+// setting.
+func figure21Points(o Options, contention bool) []Point[Fig21Point] {
 	vertices := 1024
-	maxP := cfg.MaxProcs
+	maxP := o.MaxProcs
 	if maxP == 0 {
 		maxP = 64
 	}
-	if cfg.Quick {
+	if o.Quick {
 		vertices = 256
-		if cfg.MaxProcs == 0 {
+		if o.MaxProcs == 0 {
 			maxP = 16
 		}
 	}
-	run := func(p, copies int) (sssp.Result, error) {
-		w, h := meshFor(p)
-		return sssp.Run(sssp.Config{
-			MeshW: w, MeshH: h, Procs: p,
-			Vertices: vertices, Degree: 4, Seed: 42,
-			Copies: copies, Validate: true,
-		})
-	}
-	base, err := run(1, 1)
-	if err != nil {
-		return nil, fmt.Errorf("figure 2-1 baseline: %w", err)
-	}
-	t1 := float64(base.Elapsed)
-
-	var pts []Fig21Point
+	var pts []Point[Fig21Point]
 	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
 		if p > maxP {
 			break
 		}
 		for _, repl := range []bool{false, true} {
+			p, repl := p, repl
 			copies := 1
 			if repl {
 				copies = p
@@ -164,54 +163,108 @@ func Figure21(cfg Fig21Config) ([]Fig21Point, error) {
 			if p == 1 && repl {
 				continue // replication is meaningless on one node
 			}
-			res, err := run(p, copies)
-			if err != nil {
-				return nil, fmt.Errorf("figure 2-1 p=%d copies=%d: %w", p, copies, err)
-			}
-			pts = append(pts, Fig21Point{
-				Procs:       p,
-				Replicated:  repl,
-				Copies:      copies,
-				Elapsed:     res.Elapsed,
-				Efficiency:  t1 / (float64(p) * float64(res.Elapsed)),
-				Utilization: res.Utilization,
+			pts = append(pts, Point[Fig21Point]{
+				Name: fmt.Sprintf("figure 2-1 p=%d copies=%d contention=%v", p, copies, contention),
+				Tags: map[string]string{"procs": fmt.Sprint(p), "copies": fmt.Sprint(copies)},
+				Run: func() (Fig21Point, error) {
+					w, h := meshFor(p)
+					res, err := sssp.Run(sssp.Config{
+						MeshW: w, MeshH: h, Procs: p,
+						Vertices: vertices, Degree: 4, Seed: 42,
+						Copies: copies, Validate: true,
+						Contention: contention,
+					})
+					if err != nil {
+						return Fig21Point{}, err
+					}
+					return Fig21Point{
+						Procs:       p,
+						Replicated:  repl,
+						Copies:      copies,
+						Elapsed:     res.Elapsed,
+						Utilization: res.Utilization,
+					}, nil
+				},
 			})
 		}
 	}
-	return pts, nil
+	return pts
+}
+
+// fillFig21Efficiency computes T(1)/(P·T(P)) against the sweep's own
+// unreplicated single-processor point, exactly as the serial driver
+// measured its baseline with a separate identical run.
+func fillFig21Efficiency(pts []Fig21Point) []Fig21Point {
+	var t1 float64
+	for _, p := range pts {
+		if p.Procs == 1 && !p.Replicated {
+			t1 = float64(p.Elapsed)
+			break
+		}
+	}
+	for i := range pts {
+		pts[i].Efficiency = t1 / (float64(pts[i].Procs) * float64(pts[i].Elapsed))
+	}
+	return pts
+}
+
+// Figure21 sweeps processors with and without replication. Efficiency
+// is T(1)/(P·T(P)) with T(1) measured on the same simulator.
+func Figure21(o Options) ([]Fig21Point, error) {
+	pts, err := RunPoints(figure21Points(o, false), o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return fillFig21Efficiency(pts), nil
+}
+
+// Figure21Contention is the ROADMAP's contention-on variant: the same
+// sweep with the mesh link-contention model enabled, quantifying the
+// queueing effects the paper's lightly loaded runs ignored.
+func Figure21Contention(o Options) ([]Fig21Point, error) {
+	pts, err := RunPoints(figure21Points(o, true), o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return fillFig21Efficiency(pts), nil
+}
+
+func formatFig21(title string, pts []Fig21Point) string {
+	return renderTable(title,
+		[]col{{"Procs", -6}, {"Replication", -12}, {"Copies", -7},
+			{"Elapsed", 12}, {"Efficiency", 12}, {"Utilization", 12}},
+		cells(pts, func(p Fig21Point) []string {
+			mode := "none"
+			if p.Replicated {
+				mode = "replicated"
+			}
+			return []string{
+				fmt.Sprint(p.Procs), mode, fmt.Sprint(p.Copies),
+				fmt.Sprint(p.Elapsed),
+				fmt.Sprintf("%.3f", p.Efficiency),
+				fmt.Sprintf("%.3f", p.Utilization),
+			}
+		}))
 }
 
 // FormatFigure21 renders the two curves of Figure 2-1 as a table.
 func FormatFigure21(pts []Fig21Point) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 2-1: SSSP efficiency and utilization vs processors\n")
-	fmt.Fprintf(&b, "%-6s %-12s %-7s %12s %12s %12s\n",
-		"Procs", "Replication", "Copies", "Elapsed", "Efficiency", "Utilization")
-	for _, p := range pts {
-		mode := "none"
-		if p.Replicated {
-			mode = "replicated"
-		}
-		fmt.Fprintf(&b, "%-6d %-12s %-7d %12d %12.3f %12.3f\n",
-			p.Procs, mode, p.Copies, p.Elapsed, p.Efficiency, p.Utilization)
-	}
-	return b.String()
+	return formatFig21("Figure 2-1: SSSP efficiency and utilization vs processors", pts)
+}
+
+// FormatFigure21Contention renders the contention-on sweep.
+func FormatFigure21Contention(pts []Fig21Point) string {
+	return formatFig21("Figure 2-1 under link contention: SSSP efficiency and utilization vs processors", pts)
 }
 
 // --- Figure 3-1: beam search efficiency by synchronization style -------
 
 // Fig31Point is one (processors, style) sample.
 type Fig31Point struct {
-	Procs      int
-	Label      string
-	Elapsed    sim.Cycles
-	Efficiency float64
-}
-
-// Fig31Config scales the experiment.
-type Fig31Config struct {
-	Quick    bool
-	MaxProcs int
+	Procs      int        `json:"procs"`
+	Label      string     `json:"style"`
+	Elapsed    sim.Cycles `json:"elapsed_cycles"`
+	Efficiency float64    `json:"efficiency"`
 }
 
 type fig31Style struct {
@@ -230,86 +283,104 @@ func fig31Styles() []fig31Style {
 	}
 }
 
-// Figure31 sweeps beam search over processors for the five curves of
-// Figure 3-1: blocking synchronization, delayed operations, and
-// context switching at 16/40/140 cycles. Efficiency for each curve is
-// normalized to the blocking single-processor run, as the paper
-// normalizes to the sequential execution.
-func Figure31(cfg Fig31Config) ([]Fig31Point, error) {
+// figure31Points sweeps beam search over processors for the five
+// curves of Figure 3-1: blocking synchronization, delayed operations,
+// and context switching at 16/40/140 cycles.
+func figure31Points(o Options) []Point[Fig31Point] {
 	layers, states := 32, 96
-	maxP := cfg.MaxProcs
+	maxP := o.MaxProcs
 	if maxP == 0 {
 		maxP = 64
 	}
-	if cfg.Quick {
+	if o.Quick {
 		layers, states = 16, 48
-		if cfg.MaxProcs == 0 {
+		if o.MaxProcs == 0 {
 			maxP = 8
 		}
 	}
-	run := func(p int, st fig31Style) (beam.Result, error) {
-		w, h := meshFor(p)
-		return beam.Run(beam.Config{
-			MeshW: w, MeshH: h, Procs: p,
-			Layers: layers, States: states, Branch: 3,
-			Style: st.style, SwitchCost: st.cost,
-			Validate: true,
-		})
-	}
-	base, err := run(1, fig31Styles()[0])
-	if err != nil {
-		return nil, fmt.Errorf("figure 3-1 baseline: %w", err)
-	}
-	t1 := float64(base.Elapsed)
-
-	var pts []Fig31Point
+	var pts []Point[Fig31Point]
 	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
 		if p > maxP {
 			break
 		}
 		for _, st := range fig31Styles() {
-			res, err := run(p, st)
-			if err != nil {
-				return nil, fmt.Errorf("figure 3-1 p=%d %s: %w", p, st.label, err)
-			}
-			pts = append(pts, Fig31Point{
-				Procs:      p,
-				Label:      st.label,
-				Elapsed:    res.Elapsed,
-				Efficiency: t1 / (float64(p) * float64(res.Elapsed)),
+			p, st := p, st
+			pts = append(pts, Point[Fig31Point]{
+				Name: fmt.Sprintf("figure 3-1 p=%d %s", p, st.label),
+				Tags: map[string]string{"procs": fmt.Sprint(p), "style": st.label},
+				Run: func() (Fig31Point, error) {
+					w, h := meshFor(p)
+					res, err := beam.Run(beam.Config{
+						MeshW: w, MeshH: h, Procs: p,
+						Layers: layers, States: states, Branch: 3,
+						Style: st.style, SwitchCost: st.cost,
+						Validate: true,
+					})
+					if err != nil {
+						return Fig31Point{}, err
+					}
+					return Fig31Point{Procs: p, Label: st.label, Elapsed: res.Elapsed}, nil
+				},
 			})
 		}
 	}
-	return pts, nil
+	return pts
+}
+
+// fillFig31Efficiency normalizes every curve to the blocking
+// single-processor point, as the paper normalizes to the sequential
+// execution.
+func fillFig31Efficiency(pts []Fig31Point) []Fig31Point {
+	var t1 float64
+	for _, p := range pts {
+		if p.Procs == 1 && p.Label == "blocking" {
+			t1 = float64(p.Elapsed)
+			break
+		}
+	}
+	for i := range pts {
+		pts[i].Efficiency = t1 / (float64(pts[i].Procs) * float64(pts[i].Elapsed))
+	}
+	return pts
+}
+
+// Figure31 sweeps beam search over processors for the five curves of
+// Figure 3-1.
+func Figure31(o Options) ([]Fig31Point, error) {
+	pts, err := RunPoints(figure31Points(o), o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return fillFig31Efficiency(pts), nil
 }
 
 // FormatFigure31 renders the five curves of Figure 3-1.
 func FormatFigure31(pts []Fig31Point) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 3-1: Beam search efficiency vs processors by sync style\n")
-	fmt.Fprintf(&b, "%-6s %-10s %12s %12s\n", "Procs", "Style", "Elapsed", "Efficiency")
-	for _, p := range pts {
-		fmt.Fprintf(&b, "%-6d %-10s %12d %12.3f\n", p.Procs, p.Label, p.Elapsed, p.Efficiency)
-	}
-	return b.String()
+	return renderTable("Figure 3-1: Beam search efficiency vs processors by sync style",
+		[]col{{"Procs", -6}, {"Style", -10}, {"Elapsed", 12}, {"Efficiency", 12}},
+		cells(pts, func(p Fig31Point) []string {
+			return []string{
+				fmt.Sprint(p.Procs), p.Label,
+				fmt.Sprint(p.Elapsed), fmt.Sprintf("%.3f", p.Efficiency),
+			}
+		}))
 }
 
 // --- Ablations ----------------------------------------------------------
 
 // AblationRow is one configuration of an ablation sweep.
 type AblationRow struct {
-	Label    string
-	Elapsed  sim.Cycles
-	Messages uint64
-	Extra    string
+	Label    string     `json:"label"`
+	Elapsed  sim.Cycles `json:"elapsed_cycles"`
+	Messages uint64     `json:"messages"`
+	Extra    string     `json:"notes,omitempty"`
 }
 
 // FormatAblation renders a sweep.
 func FormatAblation(title string, rows []AblationRow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n%-28s %12s %10s  %s\n", title, "Config", "Elapsed", "Messages", "Notes")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-28s %12d %10d  %s\n", r.Label, r.Elapsed, r.Messages, r.Extra)
-	}
-	return b.String()
+	return renderTable(title,
+		[]col{{"Config", -28}, {"Elapsed", 12}, {"Messages", 10}, {"Notes", -1}},
+		cells(rows, func(r AblationRow) []string {
+			return []string{r.Label, fmt.Sprint(r.Elapsed), fmt.Sprint(r.Messages), r.Extra}
+		}))
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestTable21Shape(t *testing.T) {
-	rows, err := Table21(Table21Config{Quick: true})
+	rows, err := Table21(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestTable21Shape(t *testing.T) {
 }
 
 func TestFigure21Shape(t *testing.T) {
-	pts, err := Figure21(Fig21Config{Quick: true})
+	pts, err := Figure21(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFigure21Shape(t *testing.T) {
 }
 
 func TestFigure31Shape(t *testing.T) {
-	pts, err := Figure31(Fig31Config{Quick: true})
+	pts, err := Figure31(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestFigure31Shape(t *testing.T) {
 }
 
 func TestTable31MatchesPaper(t *testing.T) {
-	rows, err := Table31()
+	rows, err := Table31(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestTable31MatchesPaper(t *testing.T) {
 }
 
 func TestSection31Costs(t *testing.T) {
-	rows, err := Section31Costs()
+	rows, err := Section31Costs(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestSection31Costs(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	fence, err := AblationFence(true)
+	fence, err := AblationFence(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestAblations(t *testing.T) {
 			fence[1].Elapsed, fence[0].Elapsed)
 	}
 
-	pw, err := AblationPendingWrites(true)
+	pw, err := AblationPendingWrites(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestAblations(t *testing.T) {
 			pw[0].Elapsed, pw[3].Elapsed)
 	}
 
-	slots, err := AblationDelayedSlots(true)
+	slots, err := AblationDelayedSlots(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestAblations(t *testing.T) {
 			slots[0].Elapsed, slots[3].Elapsed, slots[4].Elapsed)
 	}
 
-	inval, err := AblationInvalidate(true)
+	inval, err := AblationInvalidate(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestAblations(t *testing.T) {
 		t.Error("invalidate run recorded no invalidations")
 	}
 
-	cont, err := AblationContention(true)
+	cont, err := AblationContention(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestAblations(t *testing.T) {
 		t.Error("contended network faster than ideal")
 	}
 
-	comp, err := AblationCompetitive(true)
+	comp, err := AblationCompetitive(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestAblations(t *testing.T) {
 		t.Error("format missing rows")
 	}
 
-	svm, err := ExtensionSoftwareDSM(true)
+	svm, err := ExtensionSoftwareDSM(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestAblations(t *testing.T) {
 			svm[1].Elapsed, svm[0].Elapsed)
 	}
 
-	prof, err := ExtensionProfilePlacement(true)
+	prof, err := ExtensionProfilePlacement(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

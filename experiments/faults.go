@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"plus/apps/sssp"
 	"plus/internal/core"
@@ -32,75 +31,99 @@ type FaultRow struct {
 	TransportAcks uint64 `json:"transport_acks"`
 }
 
-// FaultSweepConfig scales the experiment.
-type FaultSweepConfig struct {
-	Quick bool
-	// DropRates overrides the swept loss rates (default 0, 0.001, 0.01,
-	// 0.05).
-	DropRates []float64
-}
-
-// FaultSweep runs SSSP (16 processors, 4 copies — the replicated
+// faultPoints runs SSSP (16 processors, 4 copies — the replicated
 // Figure 2-1 point) across message drop rates, with the runtime
 // invariant checker verifying the protocol's coherence structures
 // throughout. Each run validates its distances against Dijkstra, so a
 // row in the output is end-to-end evidence the protocol survived that
-// loss rate.
-func FaultSweep(cfg FaultSweepConfig) ([]FaultRow, error) {
+// loss rate. Slowdown is normalized afterwards by fillFaultSlowdown
+// against the sweep's own fault-free point.
+func faultPoints(o Options) []Point[FaultRow] {
 	vertices := 1024
-	if cfg.Quick {
+	if o.Quick {
 		vertices = 256
 	}
-	rates := cfg.DropRates
+	rates := o.DropRates
 	if rates == nil {
 		rates = []float64{0, 0.001, 0.01, 0.05}
 	}
-	var rows []FaultRow
-	var base sim.Cycles
+	var pts []Point[FaultRow]
 	for _, rate := range rates {
-		mcfg := core.DefaultConfig(4, 4)
-		if rate > 0 {
-			mcfg.Faults = mesh.FaultConfig{Seed: 7, DropRate: rate}
-			mcfg.CheckInvariants = true
-		}
-		res, err := sssp.Run(sssp.Config{
-			MeshW: 4, MeshH: 4, Procs: 16,
-			Vertices: vertices, Degree: 4, Seed: 42,
-			Copies: 4, Validate: true,
-			Machine: &mcfg,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fault sweep drop=%g: %w", rate, err)
-		}
-		if rate == 0 {
-			base = res.Elapsed
-		}
-		slow := 1.0
-		if base > 0 {
-			slow = float64(res.Elapsed) / float64(base)
-		}
-		rows = append(rows, FaultRow{
-			DropPct:       rate * 100,
-			Elapsed:       res.Elapsed,
-			Slowdown:      slow,
-			Messages:      res.Messages,
-			Dropped:       res.Net.Dropped,
-			Retransmits:   res.Retransmits,
-			TransportAcks: res.TransportAcks,
+		rate := rate
+		pts = append(pts, Point[FaultRow]{
+			Name: fmt.Sprintf("fault sweep drop=%g", rate),
+			Tags: map[string]string{"drop_rate": fmt.Sprint(rate)},
+			Run: func() (FaultRow, error) {
+				mcfg := core.DefaultConfig(4, 4)
+				if rate > 0 {
+					mcfg.Faults = mesh.FaultConfig{Seed: 7, DropRate: rate}
+					mcfg.CheckInvariants = true
+				}
+				res, err := sssp.Run(sssp.Config{
+					MeshW: 4, MeshH: 4, Procs: 16,
+					Vertices: vertices, Degree: 4, Seed: 42,
+					Copies: 4, Validate: true,
+					Machine: &mcfg,
+				})
+				if err != nil {
+					return FaultRow{}, err
+				}
+				return FaultRow{
+					DropPct:       rate * 100,
+					Elapsed:       res.Elapsed,
+					Messages:      res.Messages,
+					Dropped:       res.Net.Dropped,
+					Retransmits:   res.Retransmits,
+					TransportAcks: res.TransportAcks,
+				}, nil
+			},
 		})
 	}
-	return rows, nil
+	return pts
+}
+
+// fillFaultSlowdown normalizes every row to the sweep's fault-free
+// row (slowdown 1.0 when no zero-rate row was requested).
+func fillFaultSlowdown(rows []FaultRow) []FaultRow {
+	var base sim.Cycles
+	for _, r := range rows {
+		if r.DropPct == 0 {
+			base = r.Elapsed
+			break
+		}
+	}
+	for i := range rows {
+		rows[i].Slowdown = 1.0
+		if base > 0 {
+			rows[i].Slowdown = float64(rows[i].Elapsed) / float64(base)
+		}
+	}
+	return rows
+}
+
+// FaultSweep runs the unreliable-network sweep.
+func FaultSweep(o Options) ([]FaultRow, error) {
+	rows, err := RunPoints(faultPoints(o), o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return fillFaultSlowdown(rows), nil
 }
 
 // FormatFaultSweep renders the sweep as a table.
 func FormatFaultSweep(rows []FaultRow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Fault sweep: SSSP (16 procs, 4 copies) under message loss\n")
-	fmt.Fprintf(&b, "%-8s %12s %10s %10s %9s %12s %10s\n",
-		"Drop%", "Elapsed", "Slowdown", "Messages", "Dropped", "Retransmits", "TAcks")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8.2f %12d %10.2f %10d %9d %12d %10d\n",
-			r.DropPct, r.Elapsed, r.Slowdown, r.Messages, r.Dropped, r.Retransmits, r.TransportAcks)
-	}
-	return b.String()
+	return renderTable("Fault sweep: SSSP (16 procs, 4 copies) under message loss",
+		[]col{{"Drop%", -8}, {"Elapsed", 12}, {"Slowdown", 10}, {"Messages", 10},
+			{"Dropped", 9}, {"Retransmits", 12}, {"TAcks", 10}},
+		cells(rows, func(r FaultRow) []string {
+			return []string{
+				fmt.Sprintf("%.2f", r.DropPct),
+				fmt.Sprint(r.Elapsed),
+				fmt.Sprintf("%.2f", r.Slowdown),
+				fmt.Sprint(r.Messages),
+				fmt.Sprint(r.Dropped),
+				fmt.Sprint(r.Retransmits),
+				fmt.Sprint(r.TransportAcks),
+			}
+		}))
 }

@@ -11,7 +11,7 @@ import (
 // every row's SSSP distances validated against Dijkstra inside
 // FaultSweep itself.
 func TestFaultSweepQuick(t *testing.T) {
-	rows, err := FaultSweep(FaultSweepConfig{Quick: true, DropRates: []float64{0, 0.01}})
+	rows, err := FaultSweep(Options{Quick: true, DropRates: []float64{0, 0.01}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestFaultSweepQuick(t *testing.T) {
 // across runs in one process.
 func TestFaultSweepDeterminism(t *testing.T) {
 	run := func() string {
-		rows, err := FaultSweep(FaultSweepConfig{Quick: true, DropRates: []float64{0, 0.01}})
+		rows, err := FaultSweep(Options{Quick: true, DropRates: []float64{0, 0.01}})
 		if err != nil {
 			t.Fatal(err)
 		}

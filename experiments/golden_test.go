@@ -8,10 +8,11 @@ import (
 
 // Golden tests pin the deterministic simulation down to the cycle:
 // any change to the timing model, protocol state machines, scheduling
-// order or workload generation shows up as a golden diff. Regenerate
-// intentionally with:
+// order or workload generation shows up as a golden diff. They run
+// through the registry, so they also pin the shared table renderer
+// every experiment now formats with. Regenerate intentionally with:
 //
-//	go test ./experiments -run TestGolden -update
+//	UPDATE_GOLDEN=1 go test ./experiments -run TestGolden
 var update = os.Getenv("UPDATE_GOLDEN") == "1"
 
 func checkGolden(t *testing.T, name, got string) {
@@ -35,34 +36,38 @@ func checkGolden(t *testing.T, name, got string) {
 	}
 }
 
-func TestGoldenTable21(t *testing.T) {
-	rows, err := Table21(Table21Config{Quick: true})
+// goldenRun executes a registered experiment and returns its rendered
+// table.
+func goldenRun(t *testing.T, name string, o Options) string {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	res, err := e.Run(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "table2-1.quick", FormatTable21(rows))
+	return res.Table
+}
+
+func TestGoldenTable21(t *testing.T) {
+	checkGolden(t, "table2-1.quick", goldenRun(t, "table2-1", Options{Quick: true}))
 }
 
 func TestGoldenTable31(t *testing.T) {
-	rows, err := Table31()
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "table3-1", FormatTable31(rows))
+	checkGolden(t, "table3-1", goldenRun(t, "table3-1", Options{}))
 }
 
 func TestGoldenCosts(t *testing.T) {
-	rows, err := Section31Costs()
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "costs", FormatCosts(rows))
+	checkGolden(t, "costs", goldenRun(t, "costs", Options{}))
 }
 
 func TestGoldenFigure21(t *testing.T) {
-	pts, err := Figure21(Fig21Config{Quick: true, MaxProcs: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "figure2-1.quick", FormatFigure21(pts))
+	checkGolden(t, "figure2-1.quick", goldenRun(t, "figure2-1", Options{Quick: true, MaxProcs: 8}))
+}
+
+func TestGoldenFigure21Contention(t *testing.T) {
+	checkGolden(t, "figure2-1-contention.quick",
+		goldenRun(t, "figure2-1-contention", Options{Quick: true, MaxProcs: 8}))
 }

@@ -48,9 +48,13 @@ func placementWorkload(ops int) (*core.Machine, error) {
 // reference counters populated; the placement package turns them into
 // a migrate+replicate plan; run 2 executes the identical workload
 // under the plan.
-func ExtensionProfilePlacement(quick bool) ([]AblationRow, error) {
+//
+// Unlike every other experiment this one is a two-stage pipeline —
+// run 2 consumes run 1's counters — so it registers as a single sweep
+// point rather than a parallel point set.
+func ExtensionProfilePlacement(o Options) ([]AblationRow, error) {
 	ops := 400
-	if quick {
+	if o.Quick {
 		ops = 120
 	}
 	m1, err := placementWorkload(ops)

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A col is one column of a rendered table: header text and a printf
+// width applied to every cell (negative width left-aligns, as in fmt).
+type col struct {
+	head  string
+	width int
+}
+
+// renderTable lays out pre-formatted cells under a title line, padding
+// each cell to its column width with single-space separators. Every
+// experiment table renders through this one helper, so stdout, the
+// golden files and the JSON rows can never disagree on content.
+func renderTable(title string, cols []col, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	heads := make([]string, len(cols))
+	for i, c := range cols {
+		heads[i] = c.head
+	}
+	writeCells(&b, cols, heads)
+	for _, r := range rows {
+		writeCells(&b, cols, r)
+	}
+	return b.String()
+}
+
+func writeCells(b *strings.Builder, cols []col, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%*s", cols[i].width, cell)
+	}
+	b.WriteByte('\n')
+}
+
+// cells converts typed rows to pre-formatted cells with one mapping
+// function — the per-experiment replacement for the old hand-rolled
+// Fprintf loops.
+func cells[T any](rows []T, f func(T) []string) [][]string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = f(r)
+	}
+	return out
+}

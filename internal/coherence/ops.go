@@ -1,6 +1,8 @@
 package coherence
 
 import (
+	"encoding/json"
+
 	"plus/internal/memory"
 	"plus/internal/sim"
 	"plus/internal/timing"
@@ -60,6 +62,12 @@ func (o Op) String() string {
 		return "op(?)"
 	}
 	return opNames[o]
+}
+
+// MarshalJSON emits the operation's Table 3-1 name, so experiment
+// rows serialize as "fetch-and-add" rather than an opaque ordinal.
+func (o Op) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.String())
 }
 
 // Ops lists every delayed operation in Table 3-1 order.

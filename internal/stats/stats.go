@@ -6,33 +6,35 @@ package stats
 
 import "plus/internal/sim"
 
-// Node holds one node's memory-system counters.
+// Node holds one node's memory-system counters. The JSON tags let
+// experiment rows embed a counter block (or the Totals sum) directly
+// in plusbench's uniform -json output.
 type Node struct {
-	LocalReads   uint64 // reads satisfied by local memory (or its cache)
-	RemoteReads  uint64 // blocking reads sent over the network
-	LocalWrites  uint64 // writes whose master copy is local
-	RemoteWrites uint64 // writes sent to a remote master
-	Updates      uint64 // update requests applied at this node's copies
-	RMWIssued    uint64 // delayed operations issued by this node
-	RMWExecuted  uint64 // delayed operations executed at this node's masters
+	LocalReads   uint64 `json:"local_reads"`   // reads satisfied by local memory (or its cache)
+	RemoteReads  uint64 `json:"remote_reads"`  // blocking reads sent over the network
+	LocalWrites  uint64 `json:"local_writes"`  // writes whose master copy is local
+	RemoteWrites uint64 `json:"remote_writes"` // writes sent to a remote master
+	Updates      uint64 `json:"updates"`       // update requests applied at this node's copies
+	RMWIssued    uint64 `json:"rmw_issued"`    // delayed operations issued by this node
+	RMWExecuted  uint64 `json:"rmw_executed"`  // delayed operations executed at this node's masters
 
-	CacheHits   uint64
-	CacheMisses uint64
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 
-	Fences      uint64
-	FenceStall  sim.Cycles // cycles stalled waiting for fences
-	ReadStall   sim.Cycles // cycles stalled on blocking/pending reads
-	WriteStall  sim.Cycles // cycles stalled on a full pending-writes cache
-	VerifyStall sim.Cycles // cycles stalled waiting for delayed-op results
+	Fences      uint64     `json:"fences"`
+	FenceStall  sim.Cycles `json:"fence_stall"`  // cycles stalled waiting for fences
+	ReadStall   sim.Cycles `json:"read_stall"`   // cycles stalled on blocking/pending reads
+	WriteStall  sim.Cycles `json:"write_stall"`  // cycles stalled on a full pending-writes cache
+	VerifyStall sim.Cycles `json:"verify_stall"` // cycles stalled waiting for delayed-op results
 
-	PageFaults  uint64
-	PagesCopied uint64
+	PageFaults  uint64 `json:"page_faults"`
+	PagesCopied uint64 `json:"pages_copied"`
 	// Invalidations and InvalidateMisses are nonzero only in the
 	// write-invalidate ablation mode.
-	Invalidations    uint64
-	InvalidateMisses uint64
-	CtxSwitches      uint64
-	BusyCycles       sim.Cycles // useful computation + issue time
+	Invalidations    uint64     `json:"invalidations"`
+	InvalidateMisses uint64     `json:"invalidate_misses"`
+	CtxSwitches      uint64     `json:"ctx_switches"`
+	BusyCycles       sim.Cycles `json:"busy_cycles"` // useful computation + issue time
 	threadsActive    int
 }
 
