@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json vet fmt lint experiments experiments-quick golden examples clean
+.PHONY: all check build test race bench bench-json trace-smoke vet fmt lint experiments experiments-quick golden examples clean
 
 all: check
 
 # The default gate: everything a PR must keep green.
-check: build test race lint bench-json
+check: build test race lint bench-json trace-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,15 @@ bench:
 # so the worker-pool speedup stays visible and trackable over time.
 bench-json:
 	$(GO) run ./cmd/plusbench -quick -exp all -timing BENCH_$$(date +%Y-%m-%d).json >/dev/null
+
+# Quick instrumented run: exercises the structured-event layer end to
+# end (plusbench validates the Chrome trace JSON round-trips through
+# encoding/json before writing it, exiting nonzero otherwise) and
+# prints the latency histograms + stall summary to /dev/null.
+trace-smoke:
+	$(GO) run ./cmd/plusbench -quick -exp figure2-1 -parallel 2 \
+		-trace /tmp/plus-trace-smoke.json -sample 5000 -hist >/dev/null
+	@rm -f /tmp/plus-trace-smoke.json
 
 vet:
 	$(GO) vet ./...

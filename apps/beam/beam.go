@@ -90,6 +90,11 @@ type Config struct {
 	Beam uint32
 	// Validate checks final scores against a sequential DAG relaxation.
 	Validate bool
+	// Machine, when non-nil, overrides the machine configuration (mesh
+	// geometry is still taken from MeshW/MeshH, and Style still selects
+	// Mode/SwitchCost); used by the experiments to attach observers and
+	// sweep hardware parameters.
+	Machine *core.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -182,7 +187,13 @@ func Reference(cfg Config) []uint32 {
 // other calls, so one fresh engine may run per worker goroutine.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	mcfg := core.DefaultConfig(cfg.MeshW, cfg.MeshH)
+	var mcfg core.Config
+	if cfg.Machine != nil {
+		mcfg = *cfg.Machine
+		mcfg.MeshWidth, mcfg.MeshHeight = cfg.MeshW, cfg.MeshH
+	} else {
+		mcfg = core.DefaultConfig(cfg.MeshW, cfg.MeshH)
+	}
 	if cfg.Style == ContextSwitch {
 		if cfg.SwitchCost == 0 {
 			return Result{}, fmt.Errorf("beam: ContextSwitch style needs SwitchCost")

@@ -101,8 +101,10 @@ type Result struct {
 	// tallies in unreliable-network mode.
 	Net mesh.Stats
 	// Retransmits and TransportAcks are the reliability sublayer's
-	// activity (zero on a reliable network).
+	// activity (zero on a reliable network); Reliability carries the
+	// full counter block for experiment JSON rows.
 	Retransmits, TransportAcks uint64
+	Reliability                stats.Reliability
 	Relaxations                uint64
 	Dist                       []uint32
 	// Report is the rendered per-node counter table.
@@ -163,6 +165,7 @@ func Run(cfg Config) (Result, error) {
 		Net:           m.Mesh().Stats(),
 		Retransmits:   m.Stats().Retransmits,
 		TransportAcks: m.Stats().MsgTAck,
+		Reliability:   m.Stats().Reliability(),
 		Relaxations:   w.relaxations,
 		Dist:          w.readDist(),
 	}

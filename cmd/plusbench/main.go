@@ -6,6 +6,9 @@
 //
 //	plusbench [-exp all|ablations|<name>[,<name>...]] [-quick] [-json]
 //	          [-parallel N] [-chart] [-max-procs N] [-timing FILE] [-list]
+//	          [-trace FILE] [-trace-window A:B] [-trace-events N]
+//	          [-sample N] [-hist]
+//	plusbench -compare OLD.json NEW.json [-threshold F]
 //
 // Every experiment is a sweep of independent simulation points run on
 // a worker pool of -parallel goroutines (default GOMAXPROCS); stdout
@@ -14,6 +17,18 @@
 // objects. -timing writes a BENCH_<date>.json-style self-timing
 // report (per-experiment wall-clock, point count, workers) so the
 // parallel speedup stays trackable.
+//
+// -trace instruments every sweep point with the structured-event
+// layer and writes one Chrome trace-event JSON (load it in Perfetto or
+// chrome://tracing; one track group per point, one process per node
+// and per link) covering all points. -trace-window A:B keeps only
+// events in cycles [A, B]; -trace-events sizes the per-point event
+// ring; -sample adds time-series counters every N cycles. -hist
+// prints the merged latency histograms (remote reads, write acks, RMW
+// round trips, per-hop queueing) and a folded stall summary.
+//
+// -compare diffs two -timing reports and exits 1 when any experiment
+// regressed in wall-clock by more than -threshold (default 10%).
 //
 // Results print to stdout; EXPERIMENTS.md records a reference run.
 package main
@@ -24,9 +39,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"plus/experiments"
+	"plus/internal/sim"
+	"plus/internal/stats"
 )
 
 func main() {
@@ -38,7 +57,19 @@ func main() {
 	chart := flag.Bool("chart", false, "render the figures as ASCII charts as well")
 	timing := flag.String("timing", "", "write a JSON self-timing report to this file")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	traceOut := flag.String("trace", "", "instrument every sweep point and write a Chrome trace-event JSON to this file")
+	traceWindow := flag.String("trace-window", "", "record only events in cycles A:B (empty = whole run)")
+	traceEvents := flag.Int("trace-events", 0, "per-point event ring size (0 = default)")
+	sample := flag.Int("sample", 0, "sample per-link utilization and per-node stalls every N cycles (0 = off)")
+	hist := flag.Bool("hist", false, "print merged latency histograms and a stall summary (implies instrumentation)")
+	compare := flag.Bool("compare", false, "compare two -timing reports: plusbench -compare OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0.10, "wall-clock regression threshold for -compare (fraction)")
 	flag.Parse()
+
+	if *compare {
+		runCompare(flag.Args(), *threshold)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registered() {
@@ -53,6 +84,21 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Workers: *parallel}
+	if *traceOut != "" || *hist {
+		ocfg := stats.ObserveConfig{
+			Events:      *traceEvents,
+			SampleEvery: sim.Cycles(*sample),
+		}
+		if *traceWindow != "" {
+			a, b, err := parseWindow(*traceWindow)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "plusbench: -trace-window: %v\n", err)
+				os.Exit(2)
+			}
+			ocfg.WindowStart, ocfg.WindowEnd = a, b
+		}
+		opts.Observe = experiments.NewObservation(ocfg)
+	}
 	report := experiments.Report{
 		Date:       time.Now().Format("2006-01-02"),
 		Quick:      *quick,
@@ -95,6 +141,9 @@ func main() {
 		}
 		fmt.Println(string(enc))
 	}
+	if opts.Observe != nil {
+		writeObservation(opts.Observe, *traceOut, *hist)
+	}
 	if *timing != "" {
 		enc, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
@@ -108,4 +157,88 @@ func main() {
 		fmt.Fprintf(os.Stderr, "plusbench: %d experiment(s), %d worker(s), %.0f ms total -> %s\n",
 			len(report.Experiments), report.Workers, report.TotalWallMS, *timing)
 	}
+}
+
+// writeObservation exports the instrumented sweep: the Chrome trace
+// JSON (validated to round-trip through encoding/json before it is
+// written) and, with -hist, the merged latency histograms plus the
+// folded stall summary on stdout.
+func writeObservation(ob *experiments.Observation, traceOut string, hist bool) {
+	runs := ob.Runs()
+	if traceOut != "" {
+		data, err := stats.ChromeTrace(runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := stats.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: trace validation: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "plusbench: %d trace event(s) from %d run(s) -> %s\n",
+			n, len(runs), traceOut)
+	}
+	if hist {
+		m := ob.Metrics()
+		fmt.Println(m.Render())
+		fmt.Println(stats.StallSummary(runs))
+	}
+}
+
+// runCompare implements -compare OLD.json NEW.json.
+func runCompare(args []string, threshold float64) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "plusbench: -compare needs exactly two report files: OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldJSON, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plusbench: %v\n", err)
+		os.Exit(2)
+	}
+	newJSON, err := os.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plusbench: %v\n", err)
+		os.Exit(2)
+	}
+	diff, regressed, err := experiments.CompareReports(oldJSON, newJSON, threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plusbench: compare: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(diff)
+	if regressed {
+		fmt.Fprintf(os.Stderr, "plusbench: wall-clock regression over %.0f%% detected\n", threshold*100)
+		os.Exit(1)
+	}
+}
+
+// parseWindow parses "A:B" cycle bounds; either side may be empty
+// (A defaults to 0, B to the end of the run).
+func parseWindow(s string) (sim.Cycles, sim.Cycles, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want A:B, got %q", s)
+	}
+	var a, b uint64
+	var err error
+	if lo != "" {
+		if a, err = strconv.ParseUint(lo, 10, 64); err != nil {
+			return 0, 0, err
+		}
+	}
+	if hi != "" {
+		if b, err = strconv.ParseUint(hi, 10, 64); err != nil {
+			return 0, 0, err
+		}
+	}
+	if b != 0 && b < a {
+		return 0, 0, fmt.Errorf("window end %d before start %d", b, a)
+	}
+	return sim.Cycles(a), sim.Cycles(b), nil
 }

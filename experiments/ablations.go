@@ -32,14 +32,16 @@ func fencePoints(o Options) []Point[AblationRow] {
 		if fence {
 			label = "fence at every sync (DASH)"
 		}
+		name := "ablation fence " + label
 		pts = append(pts, Point[AblationRow]{
-			Name: "ablation fence " + label,
+			Name: name,
 			Tags: map[string]string{"config": label},
 			Run: func() (AblationRow, error) {
 				res, err := synth.Run(synth.Config{
 					MeshW: 4, MeshH: 2, Procs: 8, OpsPerProc: ops,
 					WriteFrac: 60, RMWFrac: 20, LocalFrac: 10, ThinkTime: 5,
 					Seed: 17, FenceOnSync: fence,
+					Timing: o.Observe.MachineFor(name, 4, 2),
 				})
 				if err != nil {
 					return AblationRow{}, err
@@ -77,8 +79,9 @@ func invalidatePoints(o Options) []Point[AblationRow] {
 		if inval {
 			label = "write-invalidate"
 		}
+		name := "ablation invalidate " + label
 		pts = append(pts, Point[AblationRow]{
-			Name: "ablation invalidate " + label,
+			Name: name,
 			Tags: map[string]string{"config": label},
 			Run: func() (AblationRow, error) {
 				res, err := synth.Run(synth.Config{
@@ -86,6 +89,7 @@ func invalidatePoints(o Options) []Point[AblationRow] {
 					WriteFrac: 30, RMWFrac: 2, LocalFrac: 10, Copies: 8,
 					PagesPerProc: 1, ThinkTime: 10,
 					Seed: 37, InvalidateMode: inval,
+					Timing: o.Observe.MachineFor(name, 4, 2),
 				})
 				if err != nil {
 					return AblationRow{}, err
@@ -132,11 +136,15 @@ func pendingWritesPoints(o Options) []Point[AblationRow] {
 	var pts []Point[AblationRow]
 	for _, depth := range []int{1, 2, 4, 8, 16} {
 		depth := depth
+		name := fmt.Sprintf("ablation pending-writes depth=%d", depth)
 		pts = append(pts, Point[AblationRow]{
-			Name: fmt.Sprintf("ablation pending-writes depth=%d", depth),
+			Name: name,
 			Tags: map[string]string{"depth": fmt.Sprint(depth)},
 			Run: func() (AblationRow, error) {
-				m, data, err := burstMachine(func(c *core.Config) { c.Timing.MaxPendingWrites = depth })
+				m, data, err := burstMachine(func(c *core.Config) {
+					c.Timing.MaxPendingWrites = depth
+					o.Observe.Attach(c, name)
+				})
 				if err != nil {
 					return AblationRow{}, err
 				}
@@ -181,11 +189,15 @@ func delayedSlotsPoints(o Options) []Point[AblationRow] {
 	var pts []Point[AblationRow]
 	for _, depth := range []int{1, 2, 4, 8, 16} {
 		depth := depth
+		name := fmt.Sprintf("ablation delayed-slots depth=%d", depth)
 		pts = append(pts, Point[AblationRow]{
-			Name: fmt.Sprintf("ablation delayed-slots depth=%d", depth),
+			Name: name,
 			Tags: map[string]string{"depth": fmt.Sprint(depth)},
 			Run: func() (AblationRow, error) {
-				m, data, err := burstMachine(func(c *core.Config) { c.Timing.MaxDelayedOps = depth })
+				m, data, err := burstMachine(func(c *core.Config) {
+					c.Timing.MaxDelayedOps = depth
+					o.Observe.Attach(c, name)
+				})
 				if err != nil {
 					return AblationRow{}, err
 				}
@@ -249,14 +261,16 @@ func contentionPoints(o Options) []Point[AblationRow] {
 		if cont {
 			label = "contended links"
 		}
+		name := "ablation contention " + label
 		pts = append(pts, Point[AblationRow]{
-			Name: "ablation contention " + label,
+			Name: name,
 			Tags: map[string]string{"config": label},
 			Run: func() (AblationRow, error) {
 				res, err := synth.Run(synth.Config{
 					MeshW: 4, MeshH: 2, Procs: 8, OpsPerProc: ops,
 					LocalFrac: 1, HotspotFrac: 90, WriteFrac: 50, ThinkTime: 5,
 					Seed: 29, Contention: cont,
+					Timing: o.Observe.MachineFor(name, 4, 2),
 				})
 				if err != nil {
 					return AblationRow{}, err
@@ -292,14 +306,16 @@ func competitivePoints(o Options) []Point[AblationRow] {
 		if thr > 0 {
 			label = fmt.Sprintf("competitive thr=%d", thr)
 		}
+		name := "ablation competitive " + label
 		pts = append(pts, Point[AblationRow]{
-			Name: "ablation competitive " + label,
+			Name: name,
 			Tags: map[string]string{"config": label},
 			Run: func() (AblationRow, error) {
 				res, err := synth.Run(synth.Config{
 					MeshW: 4, MeshH: 2, Procs: 8, OpsPerProc: ops,
 					WriteFrac: 5, RMWFrac: 1, LocalFrac: 10, Seed: 31,
 					CompetitiveThreshold: thr,
+					Timing:               o.Observe.MachineFor(name, 4, 2),
 				})
 				if err != nil {
 					return AblationRow{}, err

@@ -28,15 +28,17 @@ type Table31Row struct {
 // subtracting the documented issue, network and result-read
 // components — verifying the implementation charges exactly the
 // paper's 39/52 cycles.
-func table31Points(Options) []Point[Table31Row] {
+func table31Points(o Options) []Point[Table31Row] {
 	var pts []Point[Table31Row]
 	for _, op := range coherence.Ops() {
 		op := op
+		name := fmt.Sprintf("table 3-1 %v", op)
 		pts = append(pts, Point[Table31Row]{
-			Name: fmt.Sprintf("table 3-1 %v", op),
+			Name: name,
 			Tags: map[string]string{"op": op.String()},
 			Run: func() (Table31Row, error) {
 				mcfg := defaultMachine(2, 1)
+				o.Observe.Attach(&mcfg, name)
 				m, err := core.NewMachine(mcfg)
 				if err != nil {
 					return Table31Row{}, err
@@ -107,15 +109,18 @@ type CostRow struct {
 // increasing hop distance on an 8x1 mesh, reproducing the paper's
 // "round trip ... about 24 cycles; each extra hop adds 4 cycles" and
 // "remote read is about 32 cycles plus the round-trip delay".
-func costsPoints(Options) []Point[CostRow] {
+func costsPoints(o Options) []Point[CostRow] {
 	var pts []Point[CostRow]
 	for hops := 1; hops <= 7; hops++ {
 		hops := hops
+		name := fmt.Sprintf("costs hops=%d", hops)
 		pts = append(pts, Point[CostRow]{
-			Name: fmt.Sprintf("costs hops=%d", hops),
+			Name: name,
 			Tags: map[string]string{"hops": fmt.Sprint(hops)},
 			Run: func() (CostRow, error) {
-				m, err := core.NewMachine(defaultMachine(8, 1))
+				mcfg := defaultMachine(8, 1)
+				o.Observe.Attach(&mcfg, name)
+				m, err := core.NewMachine(mcfg)
 				if err != nil {
 					return CostRow{}, err
 				}

@@ -62,14 +62,16 @@ func table21Points(o Options) []Point[Table21Row] {
 	var pts []Point[Table21Row]
 	for copies := 1; copies <= 5; copies++ {
 		copies := copies
+		name := fmt.Sprintf("table 2-1 copies=%d", copies)
 		pts = append(pts, Point[Table21Row]{
-			Name: fmt.Sprintf("table 2-1 copies=%d", copies),
+			Name: name,
 			Tags: map[string]string{"copies": fmt.Sprint(copies)},
 			Run: func() (Table21Row, error) {
 				res, err := sssp.Run(sssp.Config{
 					MeshW: 4, MeshH: 4, Procs: 16,
 					Vertices: vertices, Degree: 4, Seed: 42,
 					Copies: copies, Validate: true,
+					Machine: o.Observe.MachineFor(name, 4, 4),
 				})
 				if err != nil {
 					return Table21Row{}, err
@@ -163,8 +165,9 @@ func figure21Points(o Options, contention bool) []Point[Fig21Point] {
 			if p == 1 && repl {
 				continue // replication is meaningless on one node
 			}
+			name := fmt.Sprintf("figure 2-1 p=%d copies=%d contention=%v", p, copies, contention)
 			pts = append(pts, Point[Fig21Point]{
-				Name: fmt.Sprintf("figure 2-1 p=%d copies=%d contention=%v", p, copies, contention),
+				Name: name,
 				Tags: map[string]string{"procs": fmt.Sprint(p), "copies": fmt.Sprint(copies)},
 				Run: func() (Fig21Point, error) {
 					w, h := meshFor(p)
@@ -173,6 +176,7 @@ func figure21Points(o Options, contention bool) []Point[Fig21Point] {
 						Vertices: vertices, Degree: 4, Seed: 42,
 						Copies: copies, Validate: true,
 						Contention: contention,
+						Machine:    o.Observe.MachineFor(name, w, h),
 					})
 					if err != nil {
 						return Fig21Point{}, err
@@ -305,8 +309,9 @@ func figure31Points(o Options) []Point[Fig31Point] {
 		}
 		for _, st := range fig31Styles() {
 			p, st := p, st
+			name := fmt.Sprintf("figure 3-1 p=%d %s", p, st.label)
 			pts = append(pts, Point[Fig31Point]{
-				Name: fmt.Sprintf("figure 3-1 p=%d %s", p, st.label),
+				Name: name,
 				Tags: map[string]string{"procs": fmt.Sprint(p), "style": st.label},
 				Run: func() (Fig31Point, error) {
 					w, h := meshFor(p)
@@ -315,6 +320,7 @@ func figure31Points(o Options) []Point[Fig31Point] {
 						Layers: layers, States: states, Branch: 3,
 						Style: st.style, SwitchCost: st.cost,
 						Validate: true,
+						Machine:  o.Observe.MachineFor(name, w, h),
 					})
 					if err != nil {
 						return Fig31Point{}, err

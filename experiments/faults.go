@@ -29,6 +29,12 @@ type FaultRow struct {
 	Dropped       uint64 `json:"dropped"`
 	Retransmits   uint64 `json:"retransmits"`
 	TransportAcks uint64 `json:"transport_acks"`
+	// TransDups, TransGaps and TransStalls detail the reliability
+	// sublayer's duplicate-drop, gap-drop and back-pressure activity
+	// (JSON rows only; the rendered table keeps its shape).
+	TransDups   uint64 `json:"trans_dups"`
+	TransGaps   uint64 `json:"trans_gaps"`
+	TransStalls uint64 `json:"trans_stalls"`
 }
 
 // faultPoints runs SSSP (16 processors, 4 copies — the replicated
@@ -50,8 +56,9 @@ func faultPoints(o Options) []Point[FaultRow] {
 	var pts []Point[FaultRow]
 	for _, rate := range rates {
 		rate := rate
+		name := fmt.Sprintf("fault sweep drop=%g", rate)
 		pts = append(pts, Point[FaultRow]{
-			Name: fmt.Sprintf("fault sweep drop=%g", rate),
+			Name: name,
 			Tags: map[string]string{"drop_rate": fmt.Sprint(rate)},
 			Run: func() (FaultRow, error) {
 				mcfg := core.DefaultConfig(4, 4)
@@ -59,6 +66,7 @@ func faultPoints(o Options) []Point[FaultRow] {
 					mcfg.Faults = mesh.FaultConfig{Seed: 7, DropRate: rate}
 					mcfg.CheckInvariants = true
 				}
+				o.Observe.Attach(&mcfg, name)
 				res, err := sssp.Run(sssp.Config{
 					MeshW: 4, MeshH: 4, Procs: 16,
 					Vertices: vertices, Degree: 4, Seed: 42,
@@ -75,6 +83,9 @@ func faultPoints(o Options) []Point[FaultRow] {
 					Dropped:       res.Net.Dropped,
 					Retransmits:   res.Retransmits,
 					TransportAcks: res.TransportAcks,
+					TransDups:     res.Reliability.TransDups,
+					TransGaps:     res.Reliability.TransGaps,
+					TransStalls:   res.Reliability.TransStalls,
 				}, nil
 			},
 		})

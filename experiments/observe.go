@@ -1,0 +1,166 @@
+// Observation plumbs the structured-event layer (internal/stats)
+// through the sweep runner: one fresh Observer per sweep point,
+// collected under the point's name so exports are ordered by name —
+// independent of worker scheduling — and serial and parallel sweeps
+// emit byte-identical traces.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"plus/internal/core"
+	"plus/internal/stats"
+)
+
+// Observation instruments a sweep: every point that consults it gets a
+// private stats.Observer built from Config, registered under the
+// point's name. A nil *Observation is valid everywhere and means
+// "observation off" — the sweep runs exactly as before, with every hot
+// path allocation-free.
+type Observation struct {
+	// Config is the per-point observer template (ring size, trace
+	// window, sample interval, engine events).
+	Config stats.ObserveConfig
+
+	mu   sync.Mutex
+	runs map[string]*stats.Observer
+}
+
+// NewObservation returns an empty collector building observers from
+// cfg.
+func NewObservation(cfg stats.ObserveConfig) *Observation {
+	return &Observation{Config: cfg}
+}
+
+// ObserverFor creates, registers and returns a fresh observer for the
+// named sweep point (nil when observation is off). Safe for concurrent
+// use by the worker pool; point names must be unique, which the sweep
+// builders guarantee.
+func (ob *Observation) ObserverFor(name string) *stats.Observer {
+	if ob == nil {
+		return nil
+	}
+	o := stats.NewObserver(ob.Config)
+	ob.mu.Lock()
+	if ob.runs == nil {
+		ob.runs = make(map[string]*stats.Observer)
+	}
+	ob.runs[name] = o
+	ob.mu.Unlock()
+	return o
+}
+
+// Attach instruments a machine config in place with a fresh observer
+// for the named point; a nil Observation is a no-op.
+func (ob *Observation) Attach(cfg *core.Config, name string) {
+	if ob == nil {
+		return
+	}
+	cfg.Observe = ob.ObserverFor(name)
+}
+
+// MachineFor returns a default machine config on a w x h mesh carrying
+// a fresh observer for the named point, or nil when observation is off
+// — directly usable as the apps' Machine/Timing override field.
+func (ob *Observation) MachineFor(name string, w, h int) *core.Config {
+	if ob == nil {
+		return nil
+	}
+	cfg := core.DefaultConfig(w, h)
+	ob.Attach(&cfg, name)
+	return &cfg
+}
+
+// Runs returns one ObservedRun per instrumented point, sorted by point
+// name: the order depends only on the sweep's point set, never on
+// worker scheduling, so -parallel 1 and -parallel N export identical
+// traces. Call after the sweep completes.
+func (ob *Observation) Runs() []stats.ObservedRun {
+	if ob == nil {
+		return nil
+	}
+	ob.mu.Lock()
+	names := make([]string, 0, len(ob.runs))
+	for name := range ob.runs {
+		names = append(names, name)
+	}
+	ob.mu.Unlock()
+	sort.Strings(names)
+	out := make([]stats.ObservedRun, 0, len(names))
+	for _, name := range names {
+		out = append(out, stats.ObservedRunFrom(name, ob.runs[name]))
+	}
+	return out
+}
+
+// Metrics merges every instrumented point's latency histograms.
+func (ob *Observation) Metrics() stats.Metrics {
+	var m stats.Metrics
+	for _, r := range ob.Runs() {
+		m.Add(&r.Metrics)
+	}
+	return m
+}
+
+// EventDump renders every run's event stream in name order — the
+// byte-comparable form behind the serial-vs-parallel determinism test.
+func (ob *Observation) EventDump() string {
+	var b strings.Builder
+	for _, r := range ob.Runs() {
+		fmt.Fprintf(&b, "== %s (%d events)\n", r.Name, len(r.Events))
+		for i := range r.Events {
+			b.WriteString(r.Events[i].String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CompareReports diffs two plusbench self-timing reports (the
+// BENCH_<date>.json shape written by -timing): experiments present in
+// both are compared on wall-clock, and any slower by more than
+// threshold (a fraction; 0.10 = 10%) is flagged as a regression. It
+// returns the rendered comparison and whether any regression was
+// found.
+func CompareReports(oldJSON, newJSON []byte, threshold float64) (string, bool, error) {
+	var oldRep, newRep Report
+	if err := json.Unmarshal(oldJSON, &oldRep); err != nil {
+		return "", false, fmt.Errorf("old report: %w", err)
+	}
+	if err := json.Unmarshal(newJSON, &newRep); err != nil {
+		return "", false, fmt.Errorf("new report: %w", err)
+	}
+	oldBy := make(map[string]Timing, len(oldRep.Experiments))
+	for _, t := range oldRep.Experiments {
+		oldBy[t.Experiment] = t
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %12s %12s %8s\n", "experiment", "old ms", "new ms", "delta")
+	regressed := false
+	for _, nw := range newRep.Experiments {
+		od, ok := oldBy[nw.Experiment]
+		if !ok {
+			fmt.Fprintf(&b, "%-26s %12s %12.1f %8s\n", nw.Experiment, "-", nw.WallMS, "new")
+			continue
+		}
+		delta := 0.0
+		if od.WallMS > 0 {
+			delta = (nw.WallMS - od.WallMS) / od.WallMS
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(&b, "%-26s %12.1f %12.1f %+7.1f%%%s\n",
+			nw.Experiment, od.WallMS, nw.WallMS, delta*100, mark)
+	}
+	if od, nw := oldRep.TotalWallMS, newRep.TotalWallMS; od > 0 {
+		fmt.Fprintf(&b, "%-26s %12.1f %12.1f %+7.1f%%\n", "total", od, nw, (nw-od)/od*100)
+	}
+	return b.String(), regressed, nil
+}

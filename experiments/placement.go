@@ -13,8 +13,10 @@ import (
 // placementWorkload builds a deterministic machine with deliberately
 // poor initial placement: every page homed on the far corner, each
 // used intensely by two near-corner nodes with a light write mix.
-func placementWorkload(ops int) (*core.Machine, error) {
-	m, err := core.NewMachine(core.DefaultConfig(4, 2))
+func placementWorkload(ops int, ob *Observation, name string) (*core.Machine, error) {
+	mcfg := core.DefaultConfig(4, 2)
+	ob.Attach(&mcfg, name)
+	m, err := core.NewMachine(mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +59,7 @@ func ExtensionProfilePlacement(o Options) ([]AblationRow, error) {
 	if o.Quick {
 		ops = 120
 	}
-	m1, err := placementWorkload(ops)
+	m1, err := placementWorkload(ops, o.Observe, "ext placement run 1 naive")
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +69,7 @@ func ExtensionProfilePlacement(o Options) ([]AblationRow, error) {
 	}
 	plan := placement.Compute(m1, placement.Options{})
 
-	m2, err := placementWorkload(ops)
+	m2, err := placementWorkload(ops, o.Observe, "ext placement run 2 profiled")
 	if err != nil {
 		return nil, err
 	}

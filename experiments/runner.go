@@ -21,6 +21,10 @@ type Options struct {
 	// DropRates overrides the fault sweep's loss rates (fault sweep
 	// only; nil = its default 0, 0.001, 0.01, 0.05).
 	DropRates []float64
+	// Observe, when non-nil, instruments every sweep point with a
+	// structured-event observer (one per point; see observe.go). Nil
+	// keeps all simulation hot paths allocation-free.
+	Observe *Observation
 }
 
 // WorkerCount resolves Workers to the pool size actually used.

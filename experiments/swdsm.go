@@ -26,8 +26,10 @@ import (
 const swdsmProcs = 8
 
 // swdsmPlusRow runs the trace on the PLUS hardware simulator.
-func swdsmPlusRow(iters int) (AblationRow, error) {
-	m, err := core.NewMachine(core.DefaultConfig(4, 2))
+func swdsmPlusRow(iters int, ob *Observation, name string) (AblationRow, error) {
+	mcfg := core.DefaultConfig(4, 2)
+	ob.Attach(&mcfg, name)
+	m, err := core.NewMachine(mcfg)
 	if err != nil {
 		return AblationRow{}, err
 	}
@@ -102,7 +104,7 @@ func swdsmPoints(o Options) []Point[AblationRow] {
 		{
 			Name: "ext swdsm PLUS",
 			Tags: map[string]string{"system": "plus"},
-			Run:  func() (AblationRow, error) { return swdsmPlusRow(iters) },
+			Run:  func() (AblationRow, error) { return swdsmPlusRow(iters, o.Observe, "ext swdsm PLUS") },
 		},
 		{
 			Name: "ext swdsm software SVM",

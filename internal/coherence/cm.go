@@ -124,6 +124,20 @@ type CM struct {
 	// write-update; this exists to measure the §2.2 claim.
 	invalidateMode bool
 	invalid        map[memory.PPage]map[uint32]bool
+
+	// Structured-trace issue records, allocated lazily and only
+	// populated when an observer is attached: pending-write id → issue
+	// time and causal ID (write-ack latency), remote-read id → same
+	// (read-done latency). RMW round trips ride in the dslot itself.
+	wrIssued map[uint64]issueRec
+	rdIssued map[uint64]issueRec
+}
+
+// issueRec remembers when an operation was issued and the causal ID
+// stamped on its messages, for latency histograms and span events.
+type issueRec struct {
+	at    sim.Cycles
+	cause uint64
 }
 
 type dslot struct {
@@ -131,6 +145,10 @@ type dslot struct {
 	ready  bool
 	val    memory.Word
 	waiter func(memory.Word)
+	// issuedAt/cause are set at issue when an observer is attached
+	// (cause != 0 marks a traced operation).
+	issuedAt sim.Cycles
+	cause    uint64
 }
 
 // New wires a coherence manager to its node's memory, cache and the
@@ -167,6 +185,15 @@ func (cm *CM) Self() mesh.NodeID { return cm.self }
 
 // node returns this node's stats block.
 func (cm *CM) node() *stats.Node { return &cm.st.Nodes[cm.self] }
+
+// obs returns the structured-event observer, or nil when tracing is
+// off — the single gate every emission site checks.
+func (cm *CM) obs() *stats.Observer { return cm.st.Observer() }
+
+// packAddr encodes a global address into one event payload word.
+func packAddr(g GAddr) uint64 {
+	return uint64(g.Node)<<48 | uint64(g.Page)<<16 | uint64(g.Off)
+}
 
 // newMsg draws a cleared message from the mesh free-list.
 func (cm *CM) newMsg(kind uint8, origin mesh.NodeID, id uint64) *mesh.Msg {
@@ -291,9 +318,6 @@ func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.W
 		return 0, 0, false
 	}
 	cm.node().RemoteReads++
-	if cm.st.TraceEnabled() {
-		cm.st.Emit(int(cm.self), "read", "remote %v", g)
-	}
 	id := cm.nextID
 	cm.nextID++
 	cm.readWaiters[id] = done
@@ -304,6 +328,14 @@ func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.W
 	m := cm.newMsg(kReadReq, cm.self, id)
 	m.Page, m.Off = g.Page, g.Off
 	m.Dst = g.Node
+	if o := cm.obs(); o != nil {
+		m.Cause = o.NextCause()
+		if cm.rdIssued == nil {
+			cm.rdIssued = make(map[uint64]issueRec)
+		}
+		cm.rdIssued[id] = issueRec{at: cm.eng.Now(), cause: m.Cause}
+		o.Emit(stats.EvReadIssue, int(cm.self), 0, m.Cause, packAddr(g), 0)
+	}
 	cm.eng.ScheduleEvent(cm.tm.RemoteReadOverhead, cm, ckSend, m)
 	return 0, 0, false
 }
@@ -334,11 +366,16 @@ func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
 	}
 	id := cm.allocPending(g)
 	accepted()
-	if cm.st.TraceEnabled() {
-		cm.st.Emit(int(cm.self), "write", "%v <- %#x (pending %d)", g, v, id)
-	}
 	m := cm.newMsg(kWriteReq, cm.self, id)
 	m.Page, m.Off, m.Val = g.Page, g.Off, v
+	if o := cm.obs(); o != nil {
+		m.Cause = o.NextCause()
+		if cm.wrIssued == nil {
+			cm.wrIssued = make(map[uint64]issueRec)
+		}
+		cm.wrIssued[id] = issueRec{at: cm.eng.Now(), cause: m.Cause}
+		o.Emit(stats.EvWriteIssue, int(cm.self), 0, m.Cause, packAddr(g), id)
+	}
 	if g.Node == cm.self {
 		// A write counts as local only when it completes entirely in
 		// local memory: the master copy is here and the page has no
@@ -412,13 +449,16 @@ func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
 		n.RemoteWrites++
 	}
 	issued(slot)
-	if cm.st.TraceEnabled() {
-		cm.st.Emit(int(cm.self), "rmw", "%v %v operand=%#x slot=%d", op, g, operand, slot)
-	}
 	m := cm.newMsg(kRMWReq, cm.self, uint64(slot))
 	m.Pid = pid
 	m.Op = uint8(op)
 	m.Page, m.Off, m.Val = g.Page, g.Off, operand
+	if o := cm.obs(); o != nil {
+		m.Cause = o.NextCause()
+		s := &cm.slots[slot]
+		s.issuedAt, s.cause = cm.eng.Now(), m.Cause
+		o.Emit(stats.EvRMWIssue, int(cm.self), uint8(op), m.Cause, packAddr(g), uint64(operand))
+	}
 	if g.Node == cm.self {
 		cm.arriveRMW(m)
 		return
@@ -474,6 +514,10 @@ func (cm *CM) PageCopy(src memory.PPage, dst memory.GPage, done func()) {
 	m.Page = dst.Page
 	m.Data = append(m.Data[:0], cm.mem.Page(src)...)
 	m.Done = done
+	if o := cm.obs(); o != nil {
+		m.Cause = o.NextCause()
+		o.Emit(stats.EvPageCopy, int(cm.self), 0, m.Cause, uint64(dst.Node), uint64(dst.Page))
+	}
 	cm.send(dst.Node, m)
 }
 
@@ -525,6 +569,14 @@ func (cm *CM) finishWrite(id uint64) {
 	if !ok {
 		panic(fmt.Sprintf("coherence: ack for unknown write %d on node %d", id, cm.self))
 	}
+	if o := cm.obs(); o != nil {
+		if rec, ok := cm.wrIssued[id]; ok {
+			delete(cm.wrIssued, id)
+			lat := uint64(cm.eng.Now() - rec.at)
+			o.Metrics.WriteAck.Observe(lat)
+			o.Emit(stats.EvWriteAck, int(cm.self), 0, rec.cause, lat, id)
+		}
+	}
 	delete(cm.pending, id)
 	if cm.pendingAddrs[g]--; cm.pendingAddrs[g] == 0 {
 		delete(cm.pendingAddrs, g)
@@ -551,7 +603,8 @@ func (cm *CM) finishWrite(id uint64) {
 
 // complete delivers a write/RMW completion to its originator when no
 // message is in hand (the update path reuses its message instead).
-func (cm *CM) complete(origin mesh.NodeID, id uint64) {
+// cause keeps the originating operation's causal ID on the ack leg.
+func (cm *CM) complete(origin mesh.NodeID, id, cause uint64) {
 	if id == 0 {
 		return // operation carried no pending-writes entry
 	}
@@ -559,7 +612,9 @@ func (cm *CM) complete(origin mesh.NodeID, id uint64) {
 		cm.finishWrite(id)
 		return
 	}
-	cm.send(origin, cm.newMsg(kAck, origin, id))
+	a := cm.newMsg(kAck, origin, id)
+	a.Cause = cause
+	cm.send(origin, a)
 }
 
 // applyWrites performs committed word writes on a local frame and
@@ -650,19 +705,23 @@ func (cm *CM) execRMW(m *mesh.Msg) {
 		cm.ca.Snoop(m.Page, w.Off)
 	}
 	cm.node().RMWExecuted++
+	if o := cm.obs(); o != nil {
+		o.Emit(stats.EvRMWExec, int(cm.self), m.Op, m.Cause, uint64(m.Page), uint64(len(ws)))
+	}
 	nxt := cm.next[m.Page]
 	// The reply completes the operation outright when nothing needs
 	// propagating (no modification, or the master is the only copy).
 	complete := len(ws) == 0 || nxt.IsNil()
-	origin, slotID, pid := m.Origin, m.ID, m.Pid
+	origin, slotID, pid, cause := m.Origin, m.ID, m.Pid, m.Cause
 	if origin == cm.self {
 		cm.fillSlot(int(slotID), result)
 		if complete {
-			cm.complete(origin, pid)
+			cm.complete(origin, pid, cause)
 		}
 	} else {
 		r := cm.newMsg(kRMWReply, origin, slotID)
 		r.Pid, r.Val, r.Complete = pid, result, complete
+		r.Cause = cause
 		cm.send(origin, r)
 	}
 	if len(ws) > 0 && !nxt.IsNil() {
@@ -681,6 +740,17 @@ func (cm *CM) fillSlot(slot int, v memory.Word) {
 	s := &cm.slots[slot]
 	if !s.busy {
 		panic(fmt.Sprintf("coherence: result for free slot %d on node %d", slot, cm.self))
+	}
+	// cause != 0 marks a traced issue; observe the round trip exactly
+	// once, when the result first arrives (duplicated replies in the
+	// unreliable mode are filtered by the transport before this point).
+	if s.cause != 0 {
+		if o := cm.obs(); o != nil {
+			lat := uint64(cm.eng.Now() - s.issuedAt)
+			o.Metrics.RMWRound.Observe(lat)
+			o.Emit(stats.EvRMWDone, int(cm.self), 0, s.cause, lat, uint64(slot))
+		}
+		s.cause = 0
 	}
 	if w := s.waiter; w != nil {
 		cm.releaseSlot(slot)
@@ -751,22 +821,26 @@ func (cm *CM) Deliver(m *mesh.Msg) {
 			panic(fmt.Sprintf("coherence: read reply for unknown id %d on node %d", m.ID, cm.self))
 		}
 		delete(cm.readWaiters, m.ID)
+		if o := cm.obs(); o != nil {
+			if rec, ok := cm.rdIssued[m.ID]; ok {
+				delete(cm.rdIssued, m.ID)
+				o.Emit(stats.EvReadDone, int(cm.self), 0, rec.cause,
+					uint64(cm.eng.Now()-rec.at), 0)
+			}
+		}
 		v := m.Val
 		cm.freeMsg(m)
 		done(v)
 	case kAck:
-		if cm.st.TraceEnabled() {
-			cm.st.Emit(int(cm.self), "ack", "write %d complete", m.ID)
-		}
 		id := m.ID
 		cm.freeMsg(m)
 		cm.finishWrite(id)
 	case kRMWReply:
-		slot, pid, v, complete := int(m.ID), m.Pid, m.Val, m.Complete
+		slot, pid, v, complete, cause := int(m.ID), m.Pid, m.Val, m.Complete, m.Cause
 		cm.freeMsg(m)
 		cm.fillSlot(slot, v)
 		if complete {
-			cm.complete(cm.self, pid)
+			cm.complete(cm.self, pid, cause)
 		}
 	case kPageCopy:
 		// Install the snapshot immediately: delivery is FIFO with the
@@ -833,8 +907,8 @@ func (cm *CM) process(m *mesh.Msg) {
 	case kWriteReq:
 		cm.arriveWrite(m)
 	case kUpdate:
-		if cm.st.TraceEnabled() {
-			cm.st.Emit(int(cm.self), "update", "frame %d, %d word(s) from n%d", m.Page, len(m.Writes), m.Origin)
+		if o := cm.obs(); o != nil {
+			o.Emit(stats.EvUpdate, int(cm.self), 0, m.Cause, uint64(m.Page), uint64(len(m.Writes)))
 		}
 		if cm.invalidateMode {
 			cm.applyInvalidations(m.Page, m.Writes)

@@ -31,6 +31,7 @@ import (
 
 	"plus/internal/mesh"
 	"plus/internal/sim"
+	"plus/internal/stats"
 )
 
 // maxBackoff caps the exponential retransmit backoff at
@@ -152,6 +153,9 @@ func (cm *CM) transportNack(m *mesh.Msg) {
 	if tx.rto < maxBackoff*cm.tm.RetransTimeout {
 		tx.rto *= 2
 	}
+	if o := cm.obs(); o != nil {
+		o.Emit(stats.EvBackoff, int(cm.self), 1, 0, uint64(dst), uint64(tx.rto))
+	}
 }
 
 // fireRetrans is the ckRetrans handler: if the timer is still current,
@@ -164,14 +168,21 @@ func (cm *CM) fireRetrans(tk *retransTimer) {
 	if !live || len(tx.queue) == 0 {
 		return
 	}
+	o := cm.obs()
 	for _, c := range tx.queue {
 		cm.st.Retransmits++
+		if o != nil {
+			o.Emit(stats.EvRetransmit, int(cm.self), c.Kind, c.Cause, uint64(tk.dst), c.Seq)
+		}
 		cm.net.Send(cm.self, tk.dst, flits(c), cm.net.CloneMsg(c))
 	}
 	if tx.rto < maxBackoff*cm.tm.RetransTimeout {
 		tx.rto *= 2
 	}
 	cm.armRetrans(tk.dst, tx.rto)
+	if o != nil {
+		o.Emit(stats.EvBackoff, int(cm.self), 0, 0, uint64(tk.dst), uint64(tx.rto))
+	}
 }
 
 // armRetrans schedules the retransmit timer for dst after delay,

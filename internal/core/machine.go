@@ -63,6 +63,15 @@ type Config struct {
 	// InvariantPeriod is the cycle interval between runtime invariant
 	// checks when CheckInvariants is set (0 means 10000).
 	InvariantPeriod sim.Cycles
+	// Observe attaches a structured-event observer (see internal/stats)
+	// to the machine: NewMachine binds it to the engine clock, wires the
+	// mesh and coherence emission points, and — if the observer was
+	// configured with a sample interval — schedules the time-series
+	// sampler. One observer serves exactly one machine; binding the same
+	// observer twice panics. Nil (the default) keeps every hot path
+	// allocation-free and the simulation byte-identical to an
+	// unobserved run.
+	Observe *stats.Observer
 }
 
 // DefaultConfig returns a paper-calibrated machine on a w x h mesh.
@@ -164,7 +173,104 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 		eng.Schedule(period, tick)
 	}
+	if cfg.Observe != nil {
+		m.attachObserver(cfg.Observe)
+	}
 	return m, nil
+}
+
+// attachObserver binds o to this machine: clock + topology metadata,
+// the stats/mesh emission hooks, the optional engine-dispatch probe,
+// and the optional time-series sampler. Observers record events and
+// counters only — they never schedule engine events (the sampler
+// piggybacks on the dispatch hook rather than arming its own tick),
+// so an observed run computes exactly the same result, elapsed time
+// included, as an unobserved one.
+func (m *Machine) attachObserver(o *stats.Observer) {
+	o.Bind(m.eng.Now, stats.TraceMeta{
+		Nodes:      m.net.Nodes(),
+		MeshWidth:  m.cfg.MeshWidth,
+		MeshHeight: m.cfg.MeshHeight,
+		Links:      m.net.LinkLabels(),
+	})
+	m.st.AttachObserver(o)
+	m.net.SetObserver(o)
+	probe := o.EngineEvents()
+	var sample func(at sim.Cycles)
+	if period := o.SampleInterval(); period > 0 {
+		sample = m.samplerFunc(o, period)
+	}
+	if probe || sample != nil {
+		m.eng.SetOnEvent(func(at sim.Cycles, kind int) {
+			if sample != nil {
+				sample(at)
+			}
+			if probe {
+				o.EmitAt(at, stats.EvEngineDispatch, -1, uint8(kind), 0, 0, 0)
+			}
+		})
+	}
+}
+
+// samplerFunc builds the time-series sampler, driven from the engine's
+// dispatch hook: the first event dispatched at or after each period
+// boundary appends one stats.Sample holding the deltas since the
+// previous sample — per-link busy time (as a utilization fraction of
+// the actual span covered), the instantaneous link backlog, and the
+// per-node busy/stall breakdown. Sampling on the hook instead of a
+// scheduled tick keeps the event queue untouched, so the engine's
+// schedule (and the run's elapsed time) is identical with or without
+// sampling; the cost is that Sample.At lands on a dispatch time, not
+// the exact boundary, and idle gaps longer than one period yield a
+// single sample covering the whole gap.
+func (m *Machine) samplerFunc(o *stats.Observer, period sim.Cycles) func(at sim.Cycles) {
+	n := m.net.Nodes()
+	prevLink := make([]sim.Cycles, len(m.net.LinkLabels()))
+	prevBusy := make([]sim.Cycles, n)
+	prevRead := make([]sim.Cycles, n)
+	prevWrite := make([]sim.Cycles, n)
+	prevFence := make([]sim.Cycles, n)
+	prevVerify := make([]sim.Cycles, n)
+	var last sim.Cycles // time of the previous sample
+	next := period
+	return func(at sim.Cycles) {
+		if at < next {
+			return
+		}
+		s := stats.Sample{
+			At:              at,
+			Events:          o.EventCount(),
+			LinkUtil:        make([]float64, len(prevLink)),
+			LinkDepth:       m.net.LinkBacklog(),
+			NodeBusy:        make([]sim.Cycles, n),
+			NodeReadStall:   make([]sim.Cycles, n),
+			NodeWriteStall:  make([]sim.Cycles, n),
+			NodeFenceStall:  make([]sim.Cycles, n),
+			NodeVerifyStall: make([]sim.Cycles, n),
+		}
+		span := at - last
+		cur := m.net.LinkBusyTotals()
+		for i := range cur {
+			s.LinkUtil[i] = float64(cur[i]-prevLink[i]) / float64(span)
+			prevLink[i] = cur[i]
+		}
+		for i := 0; i < n; i++ {
+			nd := &m.st.Nodes[i]
+			s.NodeBusy[i] = nd.BusyCycles - prevBusy[i]
+			s.NodeReadStall[i] = nd.ReadStall - prevRead[i]
+			s.NodeWriteStall[i] = nd.WriteStall - prevWrite[i]
+			s.NodeFenceStall[i] = nd.FenceStall - prevFence[i]
+			s.NodeVerifyStall[i] = nd.VerifyStall - prevVerify[i]
+			prevBusy[i], prevRead[i] = nd.BusyCycles, nd.ReadStall
+			prevWrite[i], prevFence[i] = nd.WriteStall, nd.FenceStall
+			prevVerify[i] = nd.VerifyStall
+		}
+		o.AddSample(s)
+		last = at
+		for next <= at {
+			next += period
+		}
+	}
 }
 
 // Nodes returns the number of nodes (processors) in the machine.
@@ -181,13 +287,16 @@ func (m *Machine) Mesh() *mesh.Mesh { return m.net }
 func (m *Machine) Stats() *stats.Machine { return m.st }
 
 // EnableTrace starts recording protocol events (coherence messages,
-// memory operations, scheduling) up to limit entries; it returns the
-// tracer for inspection after Run. Tracing a window of a long run:
-// enable it from a scheduled point in application code.
+// memory operations, scheduling, stalls) in a ring keeping the newest
+// limit entries (limit <= 0 means stats.DefaultRingEvents); it returns
+// a back-compat Tracer view over the underlying structured observer.
+// It must not be combined with Config.Observe — one observer per
+// machine. New code should set Config.Observe directly and use the
+// stats.Observer API.
 func (m *Machine) EnableTrace(limit int) *stats.Tracer {
-	tr := stats.NewTracer(limit, m.eng.Now)
-	m.st.AttachTracer(tr)
-	return tr
+	o := stats.NewObserver(stats.ObserveConfig{Events: limit})
+	m.attachObserver(o)
+	return stats.TracerFor(o)
 }
 
 // Config returns the machine's configuration.

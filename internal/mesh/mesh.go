@@ -37,6 +37,7 @@ import (
 	"plus/internal/memory"
 	"plus/internal/node"
 	"plus/internal/sim"
+	"plus/internal/stats"
 )
 
 // NodeID identifies a mesh node; IDs are assigned row-major:
@@ -185,6 +186,12 @@ type Msg struct {
 	// buffer instead of being delivered (back-pressure). The receiver
 	// of a NACK owns the message and must recycle or re-send it.
 	Nacked bool
+	// Cause is the structured-trace causal ID of the operation this
+	// message belongs to (stats.Event.Cause): a write request, every
+	// update it fans out and the final ack all carry the ID stamped at
+	// issue, so the whole span is reconstructable from the event stream.
+	// Zero when tracing is off. CloneMsg copies it; FreeMsg clears it.
+	Cause uint64
 	// ID is an origin-local request identifier (or delayed-op slot).
 	ID uint64
 	// Pid is a pending-writes entry for RMWs (0 = none).
@@ -255,6 +262,11 @@ type Mesh struct {
 	// frand drives the fault model; nil when drop/dup/delay are all 0.
 	frand *rand.Rand
 	stats Stats
+	// obs, when non-nil, receives structured network events; linkBusy
+	// accumulates per-link occupancy cycles for its utilization samples.
+	// Both are inert (single nil check) when tracing is off.
+	obs      *stats.Observer
+	linkBusy []sim.Cycles
 }
 
 // New creates a mesh. Ports are registered per node with Attach before
@@ -315,6 +327,67 @@ func (m *Mesh) Config() Config { return m.cfg }
 
 // Stats returns a copy of the accumulated network statistics.
 func (m *Mesh) Stats() Stats { return m.stats }
+
+// SetObserver attaches the structured-event observer (nil = tracing
+// off, the default). core.NewMachine wires this; with no observer the
+// send path performs a single nil check and nothing else.
+func (m *Mesh) SetObserver(o *stats.Observer) {
+	m.obs = o
+	if o != nil && m.linkBusy == nil {
+		m.linkBusy = make([]sim.Cycles, len(m.linkFree))
+	}
+}
+
+// LinkLabels names every physical directed link in dense-slot order
+// ("src->dst"), for trace exporters that draw one track per link.
+func (m *Mesh) LinkLabels() []string {
+	labels := make([]string, len(m.linkFree))
+	for id := 0; id < len(m.ports); id++ {
+		x, y := m.Coord(NodeID(id))
+		for dir := 0; dir < 4; dir++ {
+			slot := m.linkSlot[id*4+dir]
+			if slot < 0 {
+				continue
+			}
+			nx, ny := x, y
+			switch dir {
+			case dirEast:
+				nx++
+			case dirWest:
+				nx--
+			case dirNorth:
+				ny--
+			case dirSouth:
+				ny++
+			}
+			labels[slot] = fmt.Sprintf("%d->%d", id, m.ID(nx, ny))
+		}
+	}
+	return labels
+}
+
+// LinkBusyTotals returns each directed link's accumulated occupancy in
+// cycles (observer attached only; nil otherwise). The sampler differs
+// successive snapshots into per-interval utilization.
+func (m *Mesh) LinkBusyTotals() []sim.Cycles {
+	if m.linkBusy == nil {
+		return nil
+	}
+	return append([]sim.Cycles(nil), m.linkBusy...)
+}
+
+// LinkBacklog returns each directed link's queued traffic at the
+// current cycle, in cycles of occupancy still ahead of a new arrival.
+func (m *Mesh) LinkBacklog() []sim.Cycles {
+	out := make([]sim.Cycles, len(m.linkFree))
+	now := m.eng.Now()
+	for i, free := range m.linkFree {
+		if free > now {
+			out[i] = free - now
+		}
+	}
+	return out
+}
 
 // Attach registers the message port for node id.
 func (m *Mesh) Attach(id NodeID, p Port) {
@@ -485,33 +558,51 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 	if contending && m.cfg.Faults.LinkBufFlits > 0 && !m.admit(src, dst) {
 		m.stats.Nacked++
 		ms.Nacked = true
+		if m.obs != nil {
+			m.obs.Emit(stats.EvNetNack, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
+		}
 		m.eng.ScheduleEvent(m.cfg.Base, m, evNack, ms)
 		return
 	}
 	m.stats.Messages++
 	m.stats.Hops += uint64(hops)
 	m.stats.Flits += uint64(sizeFlits)
+	if m.obs != nil {
+		m.obs.Emit(stats.EvNetInject, int(src), ms.Kind, ms.Cause, uint64(dst), uint64(sizeFlits))
+	}
 	// Loss is modeled at injection: a dropped message reserves no
 	// links and is recycled immediately.
 	if m.frand != nil && m.cfg.Faults.DropRate > 0 && m.frand.Float64() < m.cfg.Faults.DropRate {
 		m.stats.Dropped++
+		if m.obs != nil {
+			m.obs.Emit(stats.EvNetDrop, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
+		}
 		m.FreeMsg(ms)
 		return
 	}
 	lat := m.Latency(src, dst)
 	if contending {
-		lat += m.contend(src, dst, sizeFlits)
+		lat += m.contend(src, dst, sizeFlits, ms.Cause)
+	} else if m.obs != nil && hops > 0 {
+		m.emitHops(src, dst, sizeFlits, ms.Cause)
 	}
 	if m.frand != nil {
 		// A duplicate arrives one cycle behind the original (it shares
 		// the original's link reservations — an approximation).
 		if r := m.cfg.Faults.DupRate; r > 0 && m.frand.Float64() < r {
 			m.stats.Duplicated++
+			if m.obs != nil {
+				m.obs.Emit(stats.EvNetDup, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
+			}
 			m.eng.ScheduleEvent(lat+1, m, evDeliver, m.CloneMsg(ms))
 		}
 		if r := m.cfg.Faults.DelayRate; r > 0 && m.frand.Float64() < r {
 			m.stats.Delayed++
-			lat += 1 + sim.Cycles(m.frand.Int63n(int64(m.cfg.Faults.DelayMax)))
+			extra := 1 + sim.Cycles(m.frand.Int63n(int64(m.cfg.Faults.DelayMax)))
+			if m.obs != nil {
+				m.obs.Emit(stats.EvNetDelay, int(src), ms.Kind, ms.Cause, uint64(extra), 0)
+			}
+			lat += extra
 		}
 	}
 	m.eng.ScheduleEvent(lat, m, evDeliver, ms)
@@ -528,6 +619,9 @@ func (m *Mesh) HandleEvent(kind int, data any) {
 		}
 		m.ports[ms.Src].Deliver(ms)
 		return
+	}
+	if m.obs != nil {
+		m.obs.Emit(stats.EvNetDeliver, int(ms.Dst), ms.Kind, ms.Cause, uint64(ms.Src), 0)
 	}
 	m.ports[ms.Dst].Deliver(ms)
 }
@@ -578,7 +672,7 @@ func (m *Mesh) admit(src, dst NodeID) bool {
 // extra queueing delay incurred. This is a pipelined (wormhole-like)
 // approximation: the header advances one hop per PerHop cycles once a
 // link frees, and the body occupies each link for sizeFlits*FlitCycles.
-func (m *Mesh) contend(src, dst NodeID, sizeFlits int) sim.Cycles {
+func (m *Mesh) contend(src, dst NodeID, sizeFlits int, cause uint64) sim.Cycles {
 	occupancy := sim.Cycles(sizeFlits) * m.cfg.FlitCycles
 	var wait sim.Cycles
 	t := m.eng.Now()
@@ -598,12 +692,21 @@ func (m *Mesh) contend(src, dst NodeID, sizeFlits int) sim.Cycles {
 		default:
 			dir = dirNorth
 		}
-		li := m.linkIndex(m.ID(x, y), dir)
+		from := m.ID(x, y)
+		li := m.linkIndex(from, dir)
+		var hopWait sim.Cycles
 		if m.linkFree[li] > t {
-			wait += m.linkFree[li] - t
+			hopWait = m.linkFree[li] - t
+			wait += hopWait
 			t = m.linkFree[li]
 		}
 		m.linkFree[li] = t + occupancy
+		if m.obs != nil {
+			m.linkBusy[li] += occupancy
+			m.obs.Metrics.HopQueue.Observe(uint64(hopWait))
+			m.obs.EmitAt(t, stats.EvNetHop, int(from), uint8(dir), cause,
+				uint64(li), uint64(occupancy))
+		}
 		t += m.cfg.PerHop
 		switch dir {
 		case dirEast:
@@ -618,6 +721,46 @@ func (m *Mesh) contend(src, dst NodeID, sizeFlits int) sim.Cycles {
 	}
 	m.stats.QueueWait += wait
 	return wait
+}
+
+// emitHops records approximate per-hop link events for an uncontended
+// send (no queueing: the header advances one hop per PerHop cycles),
+// so trace exports cover every link even with the contention model
+// off. Called only when an observer is attached.
+func (m *Mesh) emitHops(src, dst NodeID, sizeFlits int, cause uint64) {
+	occupancy := sim.Cycles(sizeFlits) * m.cfg.FlitCycles
+	t := m.eng.Now()
+	x, y := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	for x != dx || y != dy {
+		var dir int
+		switch {
+		case x < dx:
+			dir = dirEast
+		case x > dx:
+			dir = dirWest
+		case y < dy:
+			dir = dirSouth
+		default:
+			dir = dirNorth
+		}
+		from := m.ID(x, y)
+		li := m.linkIndex(from, dir)
+		m.linkBusy[li] += occupancy
+		m.obs.EmitAt(t, stats.EvNetHop, int(from), uint8(dir), cause,
+			uint64(li), uint64(occupancy))
+		t += m.cfg.PerHop
+		switch dir {
+		case dirEast:
+			x++
+		case dirWest:
+			x--
+		case dirSouth:
+			y++
+		default:
+			y--
+		}
+	}
 }
 
 // Nearest returns the node in candidates closest (fewest hops) to ref,

@@ -166,9 +166,9 @@ func (p *Proc) dispatch(t *Thread) {
 	if p.mode == SwitchOnSync {
 		cost = p.switchCost
 		p.nstat().CtxSwitches++
-		if p.st.TraceEnabled() {
-			p.st.Emit(int(p.node), "dispatch", "%s (+%d switch)", t.name, cost)
-		}
+	}
+	if o := p.st.Observer(); o != nil {
+		o.Emit(stats.EvDispatch, int(p.node), 0, 0, uint64(t.id), uint64(cost))
 	}
 	t.co.WakeAfter(cost)
 }
@@ -262,18 +262,28 @@ func (t *Thread) overhead(c sim.Cycles) {
 // clear t.opCompleted, start the operation with one of the reusable
 // hooks (t.opDone / t.readDone / t.issuedDone) as the callback — which
 // may fire synchronously — and then waitOp. It returns the cycles
-// spent parked.
-func (t *Thread) waitOp() sim.Cycles {
+// spent parked. class is the stall class (stats.StallRead etc.) the
+// park is recorded under when an observer is attached; an operation
+// that completed synchronously records nothing.
+func (t *Thread) waitOp(class uint8) sim.Cycles {
 	if t.opCompleted {
 		return 0
 	}
 	began := t.proc.eng.Now()
+	o := t.proc.st.Observer()
+	if o != nil {
+		o.Emit(stats.EvStallBegin, int(t.proc.node), class, 0, uint64(t.id), 0)
+	}
 	t.state = tBlocked
 	t.proc.current = nil
 	t.proc.dispatchNext()
 	t.co.Park()
 	t.state = tRunning
-	return t.proc.eng.Now() - began
+	stalled := t.proc.eng.Now() - began
+	if o != nil {
+		o.Emit(stats.EvStallEnd, int(t.proc.node), class, 0, uint64(t.id), uint64(stalled))
+	}
+	return stalled
 }
 
 // yield requeues the thread behind its processor's ready list — the
@@ -332,7 +342,7 @@ func (t *Thread) Read(va memory.VAddr) memory.Word {
 	// completes in place (direct clock advance, same schedule).
 	v, elapsed, fast := t.proc.cm.ReadFast(g, t.readDone, len(t.proc.ready) == 0)
 	if !fast {
-		elapsed = t.waitOp()
+		elapsed = t.waitOp(stats.StallRead)
 		v = t.readVal
 	}
 	// Accounting: an uncontended local access is useful memory time; a
@@ -343,6 +353,12 @@ func (t *Thread) Read(va memory.VAddr) memory.Word {
 	} else {
 		t.proc.nstat().BusyCycles += t.proc.tm.RemoteReadOverhead
 		t.proc.nstat().ReadStall += elapsed - t.proc.tm.RemoteReadOverhead
+		// Observed exactly where ReadStall accrues, so the histogram's
+		// sum equals ReadStall + Count·RemoteReadOverhead by
+		// construction (the acceptance cross-check).
+		if o := t.proc.st.Observer(); o != nil {
+			o.Metrics.RemoteRead.Observe(uint64(elapsed))
+		}
 	}
 	return v
 }
@@ -354,7 +370,7 @@ func (t *Thread) Write(va memory.VAddr, v memory.Word) {
 	g := t.translate(va)
 	t.opCompleted = false
 	t.proc.cm.Write(g, v, t.opDone)
-	t.proc.nstat().WriteStall += t.waitOp()
+	t.proc.nstat().WriteStall += t.waitOp(stats.StallWrite)
 	t.consume(t.proc.tm.WriteIssue)
 }
 
@@ -362,12 +378,12 @@ func (t *Thread) Write(va memory.VAddr, v memory.Word) {
 // delayed-operation modifications) have completed at every copy — the
 // explicit write fence of §2.3 used to order synchronization.
 func (t *Thread) Fence() {
-	if t.proc.st.TraceEnabled() {
-		t.proc.st.Emit(int(t.proc.node), "fence", "%s", t.name)
+	if o := t.proc.st.Observer(); o != nil {
+		o.Emit(stats.EvFence, int(t.proc.node), 0, 0, uint64(t.id), 0)
 	}
 	t.opCompleted = false
 	t.proc.cm.Fence(t.opDone)
-	t.proc.nstat().FenceStall += t.waitOp()
+	t.proc.nstat().FenceStall += t.waitOp(stats.StallFence)
 }
 
 // Issue starts a delayed operation on va and returns a handle for
@@ -382,7 +398,7 @@ func (t *Thread) Issue(op coherence.Op, va memory.VAddr, operand memory.Word) Ha
 	t.consume(t.proc.tm.DelayedIssue)
 	t.opCompleted = false
 	t.proc.cm.RMW(op, g, operand, t.issuedDone)
-	t.proc.nstat().WriteStall += t.waitOp()
+	t.proc.nstat().WriteStall += t.waitOp(stats.StallWrite)
 	h := Handle{slot: t.issuedSlot, node: t.proc.node}
 	if t.proc.mode == SwitchOnSync {
 		t.yield()
@@ -399,7 +415,7 @@ func (t *Thread) Verify(h Handle) memory.Word {
 	}
 	t.opCompleted = false
 	t.proc.cm.Verify(h.slot, t.readDone)
-	t.proc.nstat().VerifyStall += t.waitOp()
+	t.proc.nstat().VerifyStall += t.waitOp(stats.StallVerify)
 	t.consume(t.proc.tm.ResultRead)
 	return t.readVal
 }

@@ -66,6 +66,10 @@ type Engine struct {
 	// activity may not move the clock past the instant the caller asked
 	// the engine to stop at.
 	horizon Cycles
+	// onEvent, when set, observes every dispatched event (at, kind)
+	// just before its sink runs — the observability layer's engine
+	// probe. Nil (one comparison per Step) when tracing is off.
+	onEvent func(at Cycles, kind int)
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -81,6 +85,11 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events not yet executed.
 func (e *Engine) Pending() int { return len(e.pq) }
+
+// SetOnEvent installs a hook observing every event dispatch (nil to
+// remove). The hook must not schedule or mutate simulation state; it
+// exists for instrumentation (stats.EvEngineDispatch).
+func (e *Engine) SetOnEvent(fn func(at Cycles, kind int)) { e.onEvent = fn }
 
 // Schedule runs fn after delay cycles of virtual time.
 func (e *Engine) Schedule(delay Cycles, fn func()) {
@@ -181,6 +190,9 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.processed++
+	if e.onEvent != nil {
+		e.onEvent(ev.at, ev.kind)
+	}
 	ev.sink.HandleEvent(ev.kind, ev.data)
 	return true
 }

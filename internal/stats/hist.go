@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Hist is a log2-bucketed latency histogram: bucket i counts values
+// whose bit length is i (bucket 0 holds exactly the zeros), i.e.
+// values in [2^(i-1), 2^i - 1]. Observing is branch-free and
+// allocation-free, so the protocol layers can feed it from hot paths;
+// quantiles come back as the upper bound of the containing bucket
+// (within 2x of exact, which is enough to compare design points).
+type Hist struct {
+	Count   uint64     `json:"count"`
+	Sum     uint64     `json:"sum"`
+	Max     uint64     `json:"max"`
+	Buckets [65]uint64 `json:"-"`
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bits.Len64(v)]++
+}
+
+// Add merges another histogram into h.
+func (h *Hist) Add(o *Hist) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-th quantile (q in [0, 1]):
+// the top of the log2 bucket containing the q·Count-th sample, clamped
+// to Max.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			hi := uint64(1)<<uint(i) - 1
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// Metrics are the latency histograms the observability layer keeps:
+// remote blocking reads, write acknowledgements, RMW round trips, and
+// per-hop link queueing (contention model on).
+type Metrics struct {
+	// RemoteRead observes the full processor-visible latency of each
+	// remote blocking read (issue overhead + round trip), at the exact
+	// point proc charges ReadStall, so Sum = ReadStall +
+	// Count·RemoteReadOverhead.
+	RemoteRead Hist `json:"remote_read"`
+	// WriteAck observes issue→retirement of each pending write.
+	WriteAck Hist `json:"write_ack"`
+	// RMWRound observes issue→result-arrival of each delayed op.
+	RMWRound Hist `json:"rmw_round"`
+	// HopQueue observes the queueing delay each message accumulated
+	// behind busy links (contention model only; 0 entries otherwise).
+	HopQueue Hist `json:"hop_queue"`
+}
+
+// Add merges another metrics block into m.
+func (m *Metrics) Add(o *Metrics) {
+	m.RemoteRead.Add(&o.RemoteRead)
+	m.WriteAck.Add(&o.WriteAck)
+	m.RMWRound.Add(&o.RMWRound)
+	m.HopQueue.Add(&o.HopQueue)
+}
+
+// Render formats the histograms as a latency table (cycles).
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %8s %8s %8s %8s\n",
+		"latency", "count", "mean", "p50", "p95", "p99", "max")
+	row := func(name string, h *Hist) {
+		fmt.Fprintf(&b, "%-14s %10d %10.1f %8d %8d %8d %8d\n",
+			name, h.Count, h.Mean(),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
+	}
+	row("remote-read", &m.RemoteRead)
+	row("write-ack", &m.WriteAck)
+	row("rmw-round", &m.RMWRound)
+	row("hop-queue", &m.HopQueue)
+	return b.String()
+}

@@ -43,8 +43,8 @@ type Node struct {
 type Machine struct {
 	Nodes []Node
 
-	// tracer, when non-nil, records protocol events (see trace.go).
-	tracer *Tracer
+	// obs, when non-nil, records structured events (see event.go).
+	obs *Observer
 
 	// Message counts by coherence-protocol type, machine-wide.
 	MsgRead    uint64 // read requests
@@ -68,6 +68,35 @@ type Machine struct {
 // New returns a stats block for n nodes.
 func New(n int) *Machine {
 	return &Machine{Nodes: make([]Node, n)}
+}
+
+// AttachObserver sets the machine's structured-event observer;
+// components reach it through Observer() and emit only when non-nil,
+// so the tracing-off hot paths stay allocation-free.
+func (m *Machine) AttachObserver(o *Observer) { m.obs = o }
+
+// Observer returns the attached observer, or nil when tracing is off.
+func (m *Machine) Observer() *Observer { return m.obs }
+
+// Reliability groups the unreliable-network sublayer counters for
+// uniform experiment JSON rows (all zero when the fault model is off).
+type Reliability struct {
+	MsgTAck     uint64 `json:"msg_tack"`
+	Retransmits uint64 `json:"retransmits"`
+	TransDups   uint64 `json:"trans_dups"`
+	TransGaps   uint64 `json:"trans_gaps"`
+	TransStalls uint64 `json:"trans_stalls"`
+}
+
+// Reliability returns the reliability-sublayer counter block.
+func (m *Machine) Reliability() Reliability {
+	return Reliability{
+		MsgTAck:     m.MsgTAck,
+		Retransmits: m.Retransmits,
+		TransDups:   m.TransDups,
+		TransGaps:   m.TransGaps,
+		TransStalls: m.TransStalls,
+	}
 }
 
 // Totals sums the per-node counters.

@@ -2,15 +2,13 @@ package stats
 
 import (
 	"fmt"
-	"strings"
 
 	"plus/internal/sim"
 )
 
-// TraceEvent is one recorded protocol or processor event. The tracer
-// is the debugging face of the paper's "simulated and instrumented in
-// detail": with tracing enabled, every coherence message, memory
-// operation and scheduling decision leaves a timestamped record.
+// TraceEvent is the rendered, human-oriented view of one structured
+// Event, kept for callers of the old string tracer. New code should
+// read Observer.Events() directly.
 type TraceEvent struct {
 	At     sim.Cycles
 	Node   int
@@ -22,72 +20,53 @@ func (e TraceEvent) String() string {
 	return fmt.Sprintf("[%8d] n%-3d %-10s %s", e.At, e.Node, e.Kind, e.Detail)
 }
 
-// Tracer collects events up to a limit (0 = unlimited is not offered;
-// traces are for debugging windows, not whole runs).
+// Tracer is a thin back-compat shim over the structured Observer: the
+// same Dump()/Events() surface the old string tracer offered, backed
+// by the typed ring buffer.
 type Tracer struct {
-	limit   int
-	events  []TraceEvent
-	dropped uint64
-	clock   func() sim.Cycles
+	obs *Observer
 }
 
-// NewTracer creates a tracer holding at most limit events; later
-// events are counted as dropped.
+// NewTracer returns a tracer whose ring holds the NEWEST limit events
+// (rounded up to a power of two), overwriting the oldest when full.
+// limit <= 0 means DefaultRingEvents — this makes explicit the
+// contract the old tracer applied silently ("limit <= 0 becomes
+// 4096"), and replaces its drop-newest truncation with keep-newest.
+//
+// A non-nil clock binds the tracer standalone (no topology); pass the
+// result of core.Machine.EnableTrace instead to trace a machine.
 func NewTracer(limit int, clock func() sim.Cycles) *Tracer {
-	if limit <= 0 {
-		limit = 4096
+	o := NewObserver(ObserveConfig{Events: limit})
+	if clock != nil {
+		o.Bind(clock, TraceMeta{})
 	}
-	return &Tracer{limit: limit, clock: clock}
+	return &Tracer{obs: o}
 }
 
-// Emit records an event.
-func (tr *Tracer) Emit(node int, kind, format string, args ...interface{}) {
-	if len(tr.events) >= tr.limit {
-		tr.dropped++
-		return
+// TracerFor wraps an existing observer in the back-compat surface.
+func TracerFor(o *Observer) *Tracer { return &Tracer{obs: o} }
+
+// Observer returns the structured observer behind the shim.
+func (tr *Tracer) Observer() *Observer { return tr.obs }
+
+// Events returns the recorded events oldest-first, rendered.
+func (tr *Tracer) Events() []TraceEvent {
+	evs := tr.obs.Events()
+	out := make([]TraceEvent, len(evs))
+	for i, e := range evs {
+		out[i] = TraceEvent{
+			At:     e.At,
+			Node:   int(e.Node),
+			Kind:   e.Kind.String(),
+			Detail: fmt.Sprintf("cause=%d a=%#x b=%#x sub=%d", e.Cause, e.A, e.B, e.Sub),
+		}
 	}
-	tr.events = append(tr.events, TraceEvent{
-		At:     tr.clock(),
-		Node:   node,
-		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
-	})
+	return out
 }
 
-// Events returns the recorded events in order.
-func (tr *Tracer) Events() []TraceEvent { return tr.events }
+// Overwritten returns how many events the ring overwrote (the
+// keep-newest counterpart of the old tracer's Dropped).
+func (tr *Tracer) Overwritten() uint64 { return tr.obs.Overwritten() }
 
-// Dropped returns how many events exceeded the limit.
-func (tr *Tracer) Dropped() uint64 { return tr.dropped }
-
-// Dump renders the trace as text.
-func (tr *Tracer) Dump() string {
-	var b strings.Builder
-	for _, e := range tr.events {
-		b.WriteString(e.String())
-		b.WriteByte('\n')
-	}
-	if tr.dropped > 0 {
-		fmt.Fprintf(&b, "... %d events dropped (limit %d)\n", tr.dropped, tr.limit)
-	}
-	return b.String()
-}
-
-// Trace is the machine-wide tracer hook; nil when tracing is off.
-// Components emit through Machine.Emit, which is a no-op without a
-// tracer, so the hot paths stay cheap.
-func (m *Machine) AttachTracer(tr *Tracer) { m.tracer = tr }
-
-// Tracer returns the attached tracer, or nil.
-func (m *Machine) Tracer() *Tracer { return m.tracer }
-
-// Emit records a trace event if tracing is enabled.
-func (m *Machine) Emit(node int, kind, format string, args ...interface{}) {
-	if m.tracer != nil {
-		m.tracer.Emit(node, kind, format, args...)
-	}
-}
-
-// Enabled reports whether tracing is on (lets callers skip argument
-// construction on hot paths).
-func (m *Machine) TraceEnabled() bool { return m.tracer != nil }
+// Dump renders the trace as text, one event per line.
+func (tr *Tracer) Dump() string { return tr.obs.Dump() }
