@@ -236,3 +236,25 @@ func TestAblations(t *testing.T) {
 			prof[1].Elapsed, prof[0].Elapsed)
 	}
 }
+
+func TestAblationBatching(t *testing.T) {
+	rows, err := AblationBatching(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("batching sweep rows = %d, want 5", len(rows))
+	}
+	// The acceptance criterion: coalescing cuts the message count on the
+	// write-heavy load, monotonically from off to the deepest buffer.
+	if rows[4].Messages >= rows[0].Messages {
+		t.Errorf("depth-16 messages (%d) not below combining-off (%d)",
+			rows[4].Messages, rows[0].Messages)
+	}
+	if rows[0].Extra == rows[4].Extra {
+		t.Error("deep-combining run coalesced nothing")
+	}
+	if !strings.Contains(rows[0].Extra, "coalesced 0") {
+		t.Errorf("combining-off row coalesced writes: %s", rows[0].Extra)
+	}
+}

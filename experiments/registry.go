@@ -81,6 +81,7 @@ var registry = []Experiment{
 	ablationExperiment("ablation-delayed-slots", "Ablation: delayed-operations cache depth", delayedSlotsPoints),
 	ablationExperiment("ablation-contention", "Ablation: network contention model", contentionPoints),
 	ablationExperiment("ablation-competitive", "Ablation: competitive replication threshold", competitivePoints),
+	ablationExperiment("ablation-batching", "Ablation: write-combining depth (MaxBatchWrites)", batchingPoints),
 	ablationExperiment("ext-swdsm", "Extension: PLUS vs software shared virtual memory (§4)", swdsmPoints),
 	placementExperiment("ext-placement", "Extension: profile-guided placement (§2.4 second mode)"),
 	newExperiment("faults", "Fault sweep: SSSP under message loss",
@@ -117,7 +118,7 @@ func placementExperiment(name, title string) Experiment {
 var ablationGroup = []string{
 	"ablation-fence", "ablation-invalidate", "ablation-pending-writes",
 	"ablation-delayed-slots", "ablation-contention", "ablation-competitive",
-	"ext-swdsm", "ext-placement",
+	"ablation-batching", "ext-swdsm", "ext-placement",
 }
 
 // Registered returns every experiment in `-exp all` order.

@@ -153,7 +153,7 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(abl) != 8 {
+	if len(abl) != 9 {
 		t.Fatalf("ablations selected %d experiments", len(abl))
 	}
 	pair, err := Select("costs,table3-1")

@@ -1,0 +1,130 @@
+package coherence
+
+import (
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/stats"
+)
+
+// Write combining (Timing.MaxBatchWrites > 1): consecutive writes from
+// this node to the same (node, page) destination coalesce in a combine
+// buffer and travel as one multi-word kWriteReq whose flit cost scales
+// with the word count, then walk the copy-list as one kUpdate and are
+// acknowledged once for the whole batch.
+//
+// The combine buffer changes message traffic, never semantics:
+//
+//   - Every buffered word allocates its pending-writes cache entry at
+//     issue, so MaxPendingWrites, the read-blocking rule and Fence see
+//     combined writes exactly like uncombined ones — wait-on-write
+//     still blocks on exactly the words written.
+//   - Word order within a batch is issue order, and batches to one
+//     page flush in issue order over one FIFO (and go-back-N–ordered)
+//     source→master path, so every copy still applies each location's
+//     writes in a single global order (general coherence).
+//   - Flush triggers: destination page change, batch full, a full
+//     pending-writes cache (the waiting writer needs the buffered
+//     acks), fence, delayed-operation issue, verify, any read issued
+//     by this node (reads are combine barriers), and the processor
+//     layer's park/exit points. A batch therefore never outlives the
+//     operation stream that could observe it; the invariant checker
+//     treats a non-empty buffer as non-quiescent and core.Machine.Run
+//     fails if one survives the run.
+//
+// With MaxBatchWrites <= 1 none of this state is touched and the
+// protocol is byte-identical to the unbatched implementation.
+
+// batchWrite buffers one word write (batchMax > 1 path). The caller
+// has already checked MaxPendingWrites headroom and counted the write.
+func (cm *CM) batchWrite(g GAddr, v memory.Word) {
+	if cm.bopen && (g.Node != cm.bnode || g.Page != cm.bpage) {
+		cm.FlushBatch()
+	}
+	if !cm.bopen {
+		cm.bopen = true
+		cm.bnode, cm.bpage = g.Node, g.Page
+		if o := cm.obs(); o != nil {
+			// One causal ID spans the whole batch: every member's issue
+			// and ack events, and the combined message across its hops,
+			// share it.
+			cm.bcause = o.NextCause()
+		}
+	} else {
+		cm.node().CoalescedWrites++
+	}
+	id := cm.allocPending(g)
+	cm.bids = append(cm.bids, id)
+	cm.bwrites = append(cm.bwrites, wordWrite{Off: g.Off, Val: v})
+	if o := cm.obs(); o != nil {
+		if cm.wrIssued == nil {
+			cm.wrIssued = make(map[uint64]issueRec)
+		}
+		cm.wrIssued[id] = issueRec{at: cm.eng.Now(), cause: cm.bcause}
+		o.Emit(stats.EvWriteIssue, int(cm.self), 0, cm.bcause, packAddr(g), id)
+	}
+	if len(cm.bwrites) >= cm.batchMax {
+		cm.FlushBatch()
+	}
+}
+
+// FlushBatch sends the combine buffer's contents as one kWriteReq (a
+// no-op when the buffer is empty, and always when combining is off).
+// The message carries the lead member's pending id; batchIDs remembers
+// the rest so the single ack retires every member.
+func (cm *CM) FlushBatch() {
+	if !cm.bopen {
+		return
+	}
+	cm.bopen = false
+	m := cm.newMsg(kWriteReq, cm.self, cm.bids[0])
+	m.Page = cm.bpage
+	m.Cause = cm.bcause
+	m.Writes = append(m.Writes[:0], cm.bwrites...)
+	if len(cm.bids) > 1 {
+		var ids []uint64
+		if n := len(cm.idsFree); n > 0 {
+			ids = cm.idsFree[n-1]
+			cm.idsFree = cm.idsFree[:n-1]
+		}
+		cm.batchIDs[m.ID] = append(ids, cm.bids...)
+	}
+	if o := cm.obs(); o != nil {
+		o.Metrics.BatchSize.Observe(uint64(len(cm.bwrites)))
+	}
+	dst := cm.bnode
+	cm.bwrites = cm.bwrites[:0]
+	cm.bids = cm.bids[:0]
+	cm.bcause = 0
+	if dst == cm.self {
+		cm.arriveWrite(m)
+		return
+	}
+	cm.send(dst, m)
+}
+
+// retireWrite handles a write acknowledgement: a batch lead id retires
+// every member of its batch, any other id is a plain single write.
+func (cm *CM) retireWrite(id uint64) {
+	if cm.batchIDs != nil {
+		if ids, ok := cm.batchIDs[id]; ok {
+			delete(cm.batchIDs, id)
+			for _, wid := range ids {
+				cm.finishWrite(wid)
+			}
+			cm.idsFree = append(cm.idsFree, ids[:0])
+			return
+		}
+	}
+	cm.finishWrite(id)
+}
+
+// BufferedWrites returns the number of words resting in the combine
+// buffer — writes issued but not yet flushed into the protocol. The
+// invariant checker requires zero at quiescence and end-of-run.
+func (cm *CM) BufferedWrites() int { return len(cm.bwrites) }
+
+// BatchTarget reports the open combine buffer's destination, for
+// tests. ok is false when the buffer is empty.
+func (cm *CM) BatchTarget() (node mesh.NodeID, page memory.PPage, ok bool) {
+	return cm.bnode, cm.bpage, cm.bopen
+}

@@ -102,6 +102,24 @@ type CM struct {
 	fenceWaiters []func()
 	readRetry    map[GAddr][]func()
 
+	// Write-combining stage (batch.go). batchMax > 1 enables it; the
+	// combine buffer holds consecutive writes to one (node, page)
+	// destination until a flush trigger sends them as one multi-word
+	// kWriteReq. Every buffered word already owns a pending-writes
+	// entry, so MaxPendingWrites and the read-blocking rule see
+	// combined writes exactly like uncombined ones. batchIDs maps a
+	// flushed batch's lead pending id to every member id so one ack
+	// retires the whole batch; idsFree recycles those slices.
+	batchMax int
+	bopen    bool
+	bnode    mesh.NodeID
+	bpage    memory.PPage
+	bcause   uint64
+	bwrites  []wordWrite
+	bids     []uint64
+	batchIDs map[uint64][]uint64
+	idsFree  [][]uint64
+
 	// Delayed-operations cache.
 	slots       []dslot
 	slotWaiters []func()
@@ -170,6 +188,13 @@ func New(self mesh.NodeID, eng *sim.Engine, net *mesh.Mesh, mem *memory.Memory, 
 		readRetry:    make(map[GAddr][]func()),
 		slots:        make([]dslot, tm.MaxDelayedOps),
 		readWaiters:  make(map[uint64]func(memory.Word)),
+		batchMax:     tm.MaxBatchWrites,
+	}
+	if cm.batchMax < 1 {
+		cm.batchMax = 1 // zero-valued Timing tables mean "no combining"
+	}
+	if cm.batchMax > 1 {
+		cm.batchIDs = make(map[uint64][]uint64)
 	}
 	if net.Config().Faults.Enabled() {
 		cm.reliable = true
@@ -290,6 +315,13 @@ func (cm *CM) ReadFast(g GAddr, done func(memory.Word), mayFast bool) (v memory.
 }
 
 func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.Word, sim.Cycles, bool) {
+	// Reads are combine barriers: any read issued by this node flushes
+	// the combine buffer (batch.go). In particular a read of a word
+	// still resting in the buffer would otherwise block below on a
+	// write that was never sent.
+	if cm.bopen {
+		cm.FlushBatch()
+	}
 	// Reading a location that is currently being written blocks until
 	// the write completes (intra-processor strong ordering, §2.3). The
 	// retry fires from event context with the reader parked, so it must
@@ -358,16 +390,28 @@ func (cm *CM) scheduleReadDone(delay sim.Cycles, fn func(memory.Word), v memory.
 // pending-writes cache entry is allocated — synchronously when one is
 // free, otherwise from a later event once an earlier write completes.
 // The write then propagates in the background; completion is visible
-// through Fence, PendingCount, and the read-blocking rule.
+// through Fence, PendingCount, and the read-blocking rule. With write
+// combining enabled (Timing.MaxBatchWrites > 1) the write may first
+// rest in the combine buffer; see batch.go for the flush triggers.
 func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
 	if len(cm.pending) >= cm.tm.MaxPendingWrites {
+		// The cache is full: flush the combine buffer first, or the
+		// acks that free an entry (and wake this waiter) never happen.
+		cm.FlushBatch()
 		cm.writeWaiters = append(cm.writeWaiters, func() { cm.Write(g, v, accepted) })
+		return
+	}
+	cm.countWrite(g)
+	if cm.batchMax > 1 {
+		cm.batchWrite(g, v)
+		accepted()
 		return
 	}
 	id := cm.allocPending(g)
 	accepted()
 	m := cm.newMsg(kWriteReq, cm.self, id)
-	m.Page, m.Off, m.Val = g.Page, g.Off, v
+	m.Page = g.Page
+	m.Writes = append(m.Writes[:0], wordWrite{Off: g.Off, Val: v})
 	if o := cm.obs(); o != nil {
 		m.Cause = o.NextCause()
 		if cm.wrIssued == nil {
@@ -377,27 +421,31 @@ func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
 		o.Emit(stats.EvWriteIssue, int(cm.self), 0, m.Cause, packAddr(g), id)
 	}
 	if g.Node == cm.self {
-		// A write counts as local only when it completes entirely in
-		// local memory: the master copy is here and the page has no
-		// other copies to update. Writes to replicated pages generate
-		// network traffic however they are issued, which is what the
-		// paper's Table 2-1 write ratio measures.
-		if cm.completesLocally(g.Page) {
-			cm.node().LocalWrites++
-		} else {
-			cm.node().RemoteWrites++
-		}
 		cm.arriveWrite(m)
 		return
 	}
-	cm.node().RemoteWrites++
 	cm.send(g.Node, m)
+}
+
+// countWrite attributes an issued write to the local/remote counters.
+// A write counts as local only when it completes entirely in local
+// memory: the master copy is here and the page has no other copies to
+// update. Writes to replicated pages generate network traffic however
+// they are issued, which is what the paper's Table 2-1 write ratio
+// measures.
+func (cm *CM) countWrite(g GAddr) {
+	if g.Node == cm.self && cm.completesLocally(g.Page) {
+		cm.node().LocalWrites++
+	} else {
+		cm.node().RemoteWrites++
+	}
 }
 
 // Fence blocks until every earlier write by this node has completed
 // (the pending-writes cache is empty). done may be invoked
 // synchronously when there is nothing outstanding.
 func (cm *CM) Fence(done func()) {
+	cm.FlushBatch() // buffered writes count as "earlier writes"
 	cm.node().Fences++
 	if len(cm.pending) == 0 {
 		done()
@@ -414,6 +462,10 @@ func (cm *CM) Fence(done func()) {
 // is charged by the processor layer, the master's 39/52-cycle
 // execution by this package, the ~10-cycle result read at Verify.
 func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
+	// Delayed operations execute at the master: flush the combine
+	// buffer first so a buffered write to the same location cannot be
+	// overtaken by the RMW (per-pair FIFO then orders them).
+	cm.FlushBatch()
 	slot := cm.freeSlot()
 	if slot < 0 {
 		cm.slotWaiters = append(cm.slotWaiters, func() { cm.RMW(op, g, operand, issued) })
@@ -470,6 +522,7 @@ func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
 // available. The slot is freed when the result is consumed. done may
 // fire synchronously if the result has already arrived.
 func (cm *CM) Verify(slot int, done func(memory.Word)) {
+	cm.FlushBatch() // verify is an ordering point like fence (§2.3)
 	s := &cm.slots[slot]
 	if !s.busy {
 		panic(fmt.Sprintf("coherence: Verify of free slot %d on node %d", slot, cm.self))
@@ -491,6 +544,7 @@ func (cm *CM) Verify(slot int, done func(memory.Word)) {
 // ok is false. The paper notes software can inspect the status of
 // delayed-operation cache locations to implement non-blocking reads.
 func (cm *CM) TryVerify(slot int) (memory.Word, bool) {
+	cm.FlushBatch()
 	s := &cm.slots[slot]
 	if !s.busy || !s.ready {
 		return 0, false
@@ -609,7 +663,7 @@ func (cm *CM) complete(origin mesh.NodeID, id, cause uint64) {
 		return // operation carried no pending-writes entry
 	}
 	if origin == cm.self {
-		cm.finishWrite(id)
+		cm.retireWrite(id)
 		return
 	}
 	a := cm.newMsg(kAck, origin, id)
@@ -639,9 +693,9 @@ func (cm *CM) arriveWrite(m *mesh.Msg) {
 		cm.send(mg.Node, m)
 		return
 	}
-	// Master local: commit the write and convert the request in place
-	// into the update that walks the copy-list.
-	m.Writes = append(m.Writes[:0], wordWrite{Off: m.Off, Val: m.Val})
+	// Master local: commit the writes (the Writes vector — a single
+	// word, or a combined batch) and convert the request in place into
+	// the update that walks the copy-list.
 	cm.applyWrites(mg.Page, m.Writes)
 	cm.propagate(mg.Page, m)
 }
@@ -669,7 +723,7 @@ func (cm *CM) propagate(frame memory.PPage, m *mesh.Msg) {
 	if m.Origin == cm.self {
 		id := m.ID
 		cm.freeMsg(m)
-		cm.finishWrite(id)
+		cm.retireWrite(id)
 		return
 	}
 	m.Kind = kAck
@@ -834,7 +888,7 @@ func (cm *CM) Deliver(m *mesh.Msg) {
 	case kAck:
 		id := m.ID
 		cm.freeMsg(m)
-		cm.finishWrite(id)
+		cm.retireWrite(id)
 	case kRMWReply:
 		slot, pid, v, complete, cause := int(m.ID), m.Pid, m.Val, m.Complete, m.Cause
 		cm.freeMsg(m)

@@ -24,9 +24,15 @@ type rig struct {
 
 func newRig(t *testing.T, w, h int) *rig {
 	t.Helper()
+	return newRigTiming(t, w, h, timing.Default())
+}
+
+// newRigTiming is newRig with a custom cost table (the batching tests
+// raise MaxBatchWrites).
+func newRigTiming(t *testing.T, w, h int, tm timing.Timing) *rig {
+	t.Helper()
 	eng := sim.NewEngine()
 	net := mesh.New(eng, mesh.DefaultConfig(w, h))
-	tm := timing.Default()
 	st := stats.New(w * h)
 	r := &rig{eng: eng, net: net, st: st, tm: tm}
 	for i := 0; i < w*h; i++ {

@@ -15,8 +15,10 @@ const (
 	kReadReq uint8 = iota
 	// kReadReply returns the word to the requesting processor.
 	kReadReply
-	// kWriteReq carries a write toward the master copy. The addressed
-	// node performs it if it holds the master, else forwards it.
+	// kWriteReq carries one or more word writes (the Writes vector; a
+	// combined batch when write combining is on, a single word
+	// otherwise) toward the master copy. The addressed node performs
+	// them if it holds the master, else forwards the message.
 	kWriteReq
 	// kUpdate propagates committed word writes down the copy-list.
 	kUpdate
@@ -57,7 +59,7 @@ func flits(m *mesh.Msg) int {
 	case kReadReply:
 		return 2 // id + data
 	case kWriteReq:
-		return 3 // address + data
+		return 1 + 2*len(m.Writes) // address + (offset, data) per word
 	case kUpdate:
 		return 2 + 2*len(m.Writes)
 	case kAck:

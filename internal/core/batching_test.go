@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"plus/internal/memory"
+	"plus/internal/mesh"
+	"plus/internal/proc"
+	"plus/internal/sim"
+)
+
+// batchOp is one pre-generated operation of the batching-equivalence
+// trace. Generating the trace up front (rather than drawing from an RNG
+// during the run) guarantees every combine depth replays byte-identical
+// programs, so any divergence is the protocol's fault.
+type batchOp struct {
+	kind  int // 0 write, 1 read own word, 2 fadd, 3 min-xchng, 4 fence, 5 compute
+	pg    int
+	off   uint32
+	val   memory.Word
+	delta int32
+	cost  sim.Cycles
+}
+
+const (
+	batchTracePages = 3
+	batchTraceOps   = 60
+	batchMinOff     = 91      // the min-xchng cell, distinct from counters and private words
+	batchMinInit    = 1 << 20 // Poked high so every operand can lower it
+)
+
+// genBatchTrace builds one deterministic write-heavy program per node.
+// Writes and logged reads touch only the node's private word range
+// (1+10n .. 10+10n), so their values depend only on program order per
+// location — exactly the ordering write combining must preserve. The
+// shared cells take commutative delayed operations only (fetch-add and
+// min-exchange), whose final values are interleaving-independent.
+func genBatchTrace(seed int64, nodes int) (trace [][]batchOp, deltaSums []int64, minVals []memory.Word) {
+	trace = make([][]batchOp, nodes)
+	deltaSums = make([]int64, batchTracePages)
+	minVals = make([]memory.Word, batchTracePages)
+	for pg := range minVals {
+		minVals[pg] = batchMinInit
+	}
+	for n := 0; n < nodes; n++ {
+		tr := rand.New(rand.NewSource(seed*1000 + int64(n)))
+		privOff := func() uint32 { return uint32(1 + 10*n + tr.Intn(10)) }
+		ops := make([]batchOp, 0, batchTraceOps)
+		for i := 0; i < batchTraceOps; i++ {
+			pg := tr.Intn(batchTracePages)
+			switch tr.Intn(10) {
+			case 0, 1, 2, 3, 4: // write-heavy: half the mix
+				ops = append(ops, batchOp{kind: 0, pg: pg, off: privOff(),
+					val: memory.Word(tr.Uint32()) &^ memory.TopBit})
+			case 5:
+				ops = append(ops, batchOp{kind: 1, pg: pg, off: privOff()})
+			case 6:
+				d := int32(tr.Intn(21) - 10)
+				deltaSums[pg] += int64(d)
+				ops = append(ops, batchOp{kind: 2, pg: pg, delta: d})
+			case 7:
+				v := memory.Word(tr.Intn(batchMinInit))
+				if v < minVals[pg] {
+					minVals[pg] = v
+				}
+				ops = append(ops, batchOp{kind: 3, pg: pg, val: v})
+			case 8:
+				ops = append(ops, batchOp{kind: 4})
+			default:
+				ops = append(ops, batchOp{kind: 5, cost: sim.Cycles(tr.Intn(100))})
+			}
+		}
+		ops = append(ops, batchOp{kind: 4}) // trailing fence
+		trace[n] = ops
+	}
+	return trace, deltaSums, minVals
+}
+
+// runBatchTrace replays a pre-generated trace at one combine depth with
+// the invariant checker armed, and returns the observable outcome: the
+// final memory image of every page and the per-thread log of every
+// private-word read value. Timing (elapsed cycles, message counts) is
+// deliberately excluded — batching is allowed to change when things
+// happen, never what the program observes.
+func runBatchTrace(t *testing.T, trace [][]batchOp, depth int) (image, readLog string, coalesced uint64) {
+	t.Helper()
+	cfg := DefaultConfig(4, 2)
+	cfg.Timing.MaxBatchWrites = depth
+	cfg.CheckInvariants = true
+	cfg.InvariantPeriod = 5000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := len(trace)
+	bases := make([]memory.VAddr, batchTracePages)
+	for pg := range bases {
+		home := mesh.NodeID((pg * 2) % nodes)
+		bases[pg] = m.Alloc(home, 1)
+		m.Replicate(bases[pg],
+			mesh.NodeID((pg*2+1)%nodes),
+			mesh.NodeID((pg*2+3)%nodes),
+			mesh.NodeID((pg*2+5)%nodes))
+		m.Poke(bases[pg]+batchMinOff, batchMinInit)
+	}
+	logs := make([]string, nodes)
+	for n := 0; n < nodes; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			for _, op := range trace[n] {
+				switch op.kind {
+				case 0:
+					th.Write(bases[op.pg]+memory.VAddr(op.off), op.val)
+				case 1:
+					v := th.Read(bases[op.pg] + memory.VAddr(op.off))
+					logs[n] += fmt.Sprintf(" %d.%d=%d", op.pg, op.off, v)
+				case 2:
+					th.Verify(th.Fadd(bases[op.pg], op.delta))
+				case 3:
+					th.Verify(th.MinXchng(bases[op.pg]+batchMinOff, op.val))
+				case 4:
+					th.Fence()
+				default:
+					th.Compute(op.cost)
+				}
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("depth %d: %v", depth, err)
+	}
+	for pg := range bases {
+		for off := uint32(0); off < 128; off++ {
+			image += fmt.Sprintf(" %d", m.Peek(bases[pg]+memory.VAddr(off)))
+		}
+	}
+	for n := range logs {
+		readLog += fmt.Sprintf("t%d:%s\n", n, logs[n])
+	}
+	return image, readLog, m.Stats().Totals().CoalescedWrites
+}
+
+// TestBatchingSemanticsEquivalence is the write-combining fuzzer: the
+// same seeded random program runs with combining off (depth 1) and at
+// several depths, and every run must produce the identical final memory
+// image on every replica (Machine.Run's CheckCoherent already compares
+// replicas to masters) and identical values for every private-word
+// read. Fetch-add and min-exchange totals are additionally checked
+// against the trace's closed-form expectation.
+func TestBatchingSemanticsEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		trace, deltaSums, minVals := genBatchTrace(seed, 8)
+		baseImage, baseLog, _ := runBatchTrace(t, trace, 1)
+		var maxCoalesced uint64
+		for _, depth := range []int{2, 4, 8, 16} {
+			image, readLog, coalesced := runBatchTrace(t, trace, depth)
+			if image != baseImage {
+				t.Fatalf("seed %d depth %d: final memory diverged from unbatched run", seed, depth)
+			}
+			if readLog != baseLog {
+				t.Fatalf("seed %d depth %d: read results diverged from unbatched run\nbatched:\n%s\nunbatched:\n%s",
+					seed, depth, readLog, baseLog)
+			}
+			if coalesced > maxCoalesced {
+				maxCoalesced = coalesced
+			}
+		}
+		if maxCoalesced == 0 {
+			t.Fatalf("seed %d: no depth ever coalesced a write; the fuzz exercised nothing", seed)
+		}
+		// The shared cells must land on the trace's closed-form values
+		// (checked once on the baseline image via a fresh replay's Peek —
+		// cheaper: recompute from the image string is awkward, so verify
+		// on a dedicated run).
+		checkCommutativeCells(t, trace, deltaSums, minVals)
+	}
+}
+
+// checkCommutativeCells replays the trace once more at depth 16 and pins the
+// commutative-cell outcomes directly.
+func checkCommutativeCells(t *testing.T, trace [][]batchOp, deltaSums []int64, minVals []memory.Word) {
+	t.Helper()
+	cfg := DefaultConfig(4, 2)
+	cfg.Timing.MaxBatchWrites = 16
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := len(trace)
+	bases := make([]memory.VAddr, batchTracePages)
+	for pg := range bases {
+		bases[pg] = m.Alloc(mesh.NodeID((pg*2)%nodes), 1)
+		m.Replicate(bases[pg], mesh.NodeID((pg*2+1)%nodes))
+		m.Poke(bases[pg]+batchMinOff, batchMinInit)
+	}
+	for n := 0; n < nodes; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			for _, op := range trace[n] {
+				switch op.kind {
+				case 0:
+					th.Write(bases[op.pg]+memory.VAddr(op.off), op.val)
+				case 2:
+					th.Verify(th.Fadd(bases[op.pg], op.delta))
+				case 3:
+					th.Verify(th.MinXchng(bases[op.pg]+batchMinOff, op.val))
+				case 4:
+					th.Fence()
+				}
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pg := range bases {
+		if got := int64(int32(m.Peek(bases[pg]))); got != deltaSums[pg] {
+			t.Fatalf("page %d counter = %d, deltas sum to %d", pg, got, deltaSums[pg])
+		}
+		if got := m.Peek(bases[pg] + batchMinOff); got != minVals[pg] {
+			t.Fatalf("page %d min cell = %d, want %d", pg, got, minVals[pg])
+		}
+	}
+}
+
+// TestBatchingFlushesAtThreadExit pins the no-strand guarantee at the
+// machine level: threads that end on a bare write (no fence, no read,
+// nothing) still drain their combine buffers through the thread-exit
+// flush, so Run succeeds, the quiescence invariant holds, and every
+// word reaches every replica. If the exit flush were removed, Run's
+// stranded-write check would fail this test.
+func TestBatchingFlushesAtThreadExit(t *testing.T) {
+	cfg := DefaultConfig(4, 2)
+	cfg.Timing.MaxBatchWrites = 8
+	cfg.CheckInvariants = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Alloc(0, 1)
+	m.Replicate(base, 3, 5)
+	for n := 0; n < 4; n++ {
+		n := n
+		m.Spawn(mesh.NodeID(n), func(th *proc.Thread) {
+			for i := 0; i < 5; i++ { // 5 < depth 8: exit with an open buffer
+				th.Write(base+memory.VAddr(uint32(1+5*n+i)), memory.Word(100*n+i))
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("thread-exit flush failed to drain: %v", err)
+	}
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 5; i++ {
+			if got := m.Peek(base + memory.VAddr(uint32(1+5*n+i))); got != memory.Word(100*n+i) {
+				t.Fatalf("word %d = %d, want %d", 1+5*n+i, got, 100*n+i)
+			}
+		}
+	}
+	if got := m.Stats().Totals().CoalescedWrites; got == 0 {
+		t.Fatal("no write was coalesced; the buffers never opened")
+	}
+}

@@ -14,12 +14,15 @@ import (
 // runFaultFuzz drives the protocol-fuzz workload on an unreliable
 // network with the runtime invariant checker armed, and returns a
 // fingerprint of everything observable: elapsed time, message and
-// fault counters, and final memory contents.
-func runFaultFuzz(t *testing.T, seed int64, f mesh.FaultConfig, contention bool) (string, mesh.Stats) {
+// fault counters, and final memory contents. batch is the write-combine
+// depth (1 = combining off); batched write requests ride the same
+// retransmission machinery, a lost batch re-sends its whole vector.
+func runFaultFuzz(t *testing.T, seed int64, f mesh.FaultConfig, contention bool, batch int) (string, mesh.Stats) {
 	t.Helper()
 	cfg := DefaultConfig(4, 2)
 	cfg.NetContention = contention
 	cfg.Faults = f
+	cfg.Timing.MaxBatchWrites = batch
 	cfg.CheckInvariants = true
 	cfg.InvariantPeriod = 5000
 	m, err := NewMachine(cfg)
@@ -97,8 +100,8 @@ func TestProtocolFuzzWithFaults(t *testing.T) {
 	for _, f := range configs {
 		var dropped uint64
 		for seed := int64(0); seed < 3; seed++ {
-			a, st := runFaultFuzz(t, seed, f, false)
-			b, _ := runFaultFuzz(t, seed, f, false)
+			a, st := runFaultFuzz(t, seed, f, false, 1)
+			b, _ := runFaultFuzz(t, seed, f, false, 1)
 			if a != b {
 				t.Fatalf("seed %d faults %+v: two runs diverged\n%s\n%s", seed, f, a, b)
 			}
@@ -112,19 +115,23 @@ func TestProtocolFuzzWithFaults(t *testing.T) {
 
 // TestProtocolFuzzWithBackpressure adds bounded link buffers under
 // contention: overflowing messages NACK back to their senders and must
-// be retried without breaking coherence.
+// be retried without breaking coherence. The batch=4 leg repeats the
+// whole fuzz with write combining on, so multi-word write requests get
+// NACKed, retried and retransmitted vector-intact.
 func TestProtocolFuzzWithBackpressure(t *testing.T) {
 	f := mesh.FaultConfig{Seed: 3, DropRate: 0.01, LinkBufFlits: 16}
-	var bounced uint64
-	for seed := int64(0); seed < 3; seed++ {
-		a, st := runFaultFuzz(t, seed, f, true)
-		b, _ := runFaultFuzz(t, seed, f, true)
-		if a != b {
-			t.Fatalf("seed %d: two runs diverged\n%s\n%s", seed, a, b)
+	for _, batch := range []int{1, 4} {
+		var bounced uint64
+		for seed := int64(0); seed < 3; seed++ {
+			a, st := runFaultFuzz(t, seed, f, true, batch)
+			b, _ := runFaultFuzz(t, seed, f, true, batch)
+			if a != b {
+				t.Fatalf("seed %d batch %d: two runs diverged\n%s\n%s", seed, batch, a, b)
+			}
+			bounced += st.Nacked
 		}
-		bounced += st.Nacked
-	}
-	if bounced == 0 {
-		t.Fatal("no seed exercised a back-pressure NACK; shrink LinkBufFlits")
+		if bounced == 0 {
+			t.Fatalf("batch %d: no seed exercised a back-pressure NACK; shrink LinkBufFlits", batch)
+		}
 	}
 }

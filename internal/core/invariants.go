@@ -72,11 +72,15 @@ func (ic *InvariantChecker) CheckStructure() error {
 
 // Quiescent reports whether no protocol activity is in flight: every
 // pending-writes cache is empty, every delayed operation has its
-// result, every retransmit queue has drained, and no background page
-// copy is travelling. Only then must replicas have converged.
+// result, every write-combine buffer is empty, every retransmit queue
+// has drained, and no background page copy is travelling. Only then
+// must replicas have converged. Note a flushed-but-unacked batch needs
+// no special case: each of its N words still holds its own
+// pending-writes entry, so PendingCount already reports N.
 func (ic *InvariantChecker) Quiescent() bool {
 	for _, cm := range ic.cms {
-		if cm.PendingCount() != 0 || cm.UnresolvedSlots() != 0 || !cm.TransportIdle() {
+		if cm.PendingCount() != 0 || cm.UnresolvedSlots() != 0 ||
+			cm.BufferedWrites() != 0 || !cm.TransportIdle() {
 			return false
 		}
 	}

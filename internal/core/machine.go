@@ -405,6 +405,15 @@ func (m *Machine) Run() (sim.Cycles, error) {
 	if len(stuck) > 0 {
 		return m.elapsed, fmt.Errorf("core: deadlock — %d thread(s) never finished: %v", len(stuck), stuck)
 	}
+	// Write combining must never strand a write: every flush trigger
+	// (fence, verify, RMW, reads, park, thread exit) has fired by now,
+	// so a non-empty combine buffer is a protocol bug — the write was
+	// issued but will never reach any copy.
+	for i, cm := range m.cms {
+		if n := cm.BufferedWrites(); n != 0 {
+			return m.elapsed, fmt.Errorf("core: %d write(s) stranded in node %d's combine buffer at end of run", n, i)
+		}
+	}
 	if m.invErr != nil {
 		return m.elapsed, fmt.Errorf("core: invariant violated during run: %w", m.invErr)
 	}

@@ -145,6 +145,11 @@ func (p *Proc) Spawn(id int, name string, body func(*Thread)) *Thread {
 	t.issuedDone = func(slot int) { t.issuedSlot = slot; t.opDone() }
 	t.co = sim.NewCoroutine(p.eng, name, func(*sim.Coroutine) {
 		body(t)
+		// A thread may exit with writes still resting in the combine
+		// buffer (write combining, coherence/batch.go); flush so they
+		// propagate and the machine can quiesce. No-op when combining
+		// is off.
+		p.cm.FlushBatch()
 		t.state = tDone
 		p.current = nil
 		p.dispatchNext()
@@ -375,8 +380,9 @@ func (t *Thread) Write(va memory.VAddr, v memory.Word) {
 }
 
 // Fence blocks until all of this node's earlier writes (including
-// delayed-operation modifications) have completed at every copy — the
-// explicit write fence of §2.3 used to order synchronization.
+// delayed-operation modifications and any writes resting in the
+// write-combine buffer, which it flushes) have completed at every copy
+// — the explicit write fence of §2.3 used to order synchronization.
 func (t *Thread) Fence() {
 	if o := t.proc.st.Observer(); o != nil {
 		o.Emit(stats.EvFence, int(t.proc.node), 0, 0, uint64(t.id), 0)
@@ -408,7 +414,8 @@ func (t *Thread) Issue(op coherence.Op, va memory.VAddr, operand memory.Word) Ha
 
 // Verify retrieves a delayed operation's result, blocking until it is
 // available, and frees the delayed-operations cache slot. Reading an
-// available result costs ~10 cycles.
+// available result costs ~10 cycles. Like Fence and Issue it is a
+// write-combining flush point.
 func (t *Thread) Verify(h Handle) memory.Word {
 	if h.node != t.proc.node {
 		panic(fmt.Sprintf("proc: thread %q verifying a handle issued on node %d", t.name, h.node))
@@ -446,6 +453,9 @@ func (t *Thread) Sleep() {
 		t.wakePending = false
 		return
 	}
+	// Parking indefinitely must not strand buffered writes (another
+	// node may be waiting to observe them before issuing the Wake).
+	t.proc.cm.FlushBatch()
 	t.state = tSleeping
 	t.proc.current = nil
 	t.proc.dispatchNext()

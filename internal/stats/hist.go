@@ -93,6 +93,10 @@ type Metrics struct {
 	// HopQueue observes the queueing delay each message accumulated
 	// behind busy links (contention model only; 0 entries otherwise).
 	HopQueue Hist `json:"hop_queue"`
+	// BatchSize observes the word count of each flushed write-combine
+	// batch (write combining only; 0 entries when MaxBatchWrites is 1).
+	// Values here are words, not cycles.
+	BatchSize Hist `json:"batch_size"`
 }
 
 // Add merges another metrics block into m.
@@ -101,6 +105,7 @@ func (m *Metrics) Add(o *Metrics) {
 	m.WriteAck.Add(&o.WriteAck)
 	m.RMWRound.Add(&o.RMWRound)
 	m.HopQueue.Add(&o.HopQueue)
+	m.BatchSize.Add(&o.BatchSize)
 }
 
 // Render formats the histograms as a latency table (cycles).
@@ -117,5 +122,6 @@ func (m *Metrics) Render() string {
 	row("write-ack", &m.WriteAck)
 	row("rmw-round", &m.RMWRound)
 	row("hop-queue", &m.HopQueue)
+	row("batch-size", &m.BatchSize)
 	return b.String()
 }

@@ -15,8 +15,13 @@ type Node struct {
 	LocalWrites  uint64 `json:"local_writes"`  // writes whose master copy is local
 	RemoteWrites uint64 `json:"remote_writes"` // writes sent to a remote master
 	Updates      uint64 `json:"updates"`       // update requests applied at this node's copies
-	RMWIssued    uint64 `json:"rmw_issued"`    // delayed operations issued by this node
-	RMWExecuted  uint64 `json:"rmw_executed"`  // delayed operations executed at this node's masters
+	// CoalescedWrites counts words that joined an already-open write
+	// combine buffer — writes that rode an earlier write's message
+	// instead of paying for their own (nonzero only with
+	// Timing.MaxBatchWrites > 1).
+	CoalescedWrites uint64 `json:"coalesced_writes"`
+	RMWIssued       uint64 `json:"rmw_issued"`   // delayed operations issued by this node
+	RMWExecuted     uint64 `json:"rmw_executed"` // delayed operations executed at this node's masters
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -109,6 +114,7 @@ func (m *Machine) Totals() Node {
 		t.LocalWrites += n.LocalWrites
 		t.RemoteWrites += n.RemoteWrites
 		t.Updates += n.Updates
+		t.CoalescedWrites += n.CoalescedWrites
 		t.RMWIssued += n.RMWIssued
 		t.RMWExecuted += n.RMWExecuted
 		t.CacheHits += n.CacheHits

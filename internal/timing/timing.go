@@ -69,6 +69,13 @@ type Timing struct {
 	// MaxPendingWrites is the pending-writes cache depth: writes a node
 	// may have in flight before the processor stalls. [paper §5: 8]
 	MaxPendingWrites int
+	// MaxBatchWrites is the write-combining depth: how many consecutive
+	// same-page word writes the coherence manager may coalesce into one
+	// multi-word update message before flushing. 1 disables combining
+	// and reproduces the paper's one-message-per-write behaviour
+	// exactly. [chosen: 1 — the 1990 hardware did not combine; the
+	// batching ablation sweeps this]
+	MaxBatchWrites int
 	// MaxDelayedOps is the delayed-operations cache depth. [paper §5: 8]
 	MaxDelayedOps int
 	// MaxQueueSize is the hardware queue wrap modulus in words for the
@@ -97,6 +104,7 @@ func Default() Timing {
 		TLBRefill:          20,
 		PageCopyPerWord:    4,
 		MaxPendingWrites:   8,
+		MaxBatchWrites:     1,
 		MaxDelayedOps:      8,
 		MaxQueueSize:       512,
 	}
@@ -107,6 +115,8 @@ func (t Timing) Validate() error {
 	switch {
 	case t.MaxPendingWrites < 1:
 		return errTiming("MaxPendingWrites must be >= 1")
+	case t.MaxBatchWrites < 1:
+		return errTiming("MaxBatchWrites must be >= 1")
 	case t.MaxDelayedOps < 1:
 		return errTiming("MaxDelayedOps must be >= 1")
 	case t.MaxQueueSize < 2 || t.MaxQueueSize > 1<<10:
