@@ -2,11 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json trace-smoke vet fmt lint experiments experiments-quick golden examples clean
+.PHONY: all check build test race bench bench-json trace-smoke scale vet fmt lint experiments experiments-quick golden examples clean
 
 all: check
 
-# The default gate: everything a PR must keep green.
+# The default gate: everything a PR must keep green. The shard
+# equivalence tests ride in test/race, and bench-json's -exp all
+# includes the scale experiment's quick leg, which fails loudly if any
+# sharded run diverges from its serial twin.
 check: build test race lint bench-json trace-smoke
 
 build:
@@ -31,6 +34,13 @@ bench:
 # so the worker-pool speedup stays visible and trackable over time.
 bench-json:
 	$(GO) run ./cmd/plusbench -quick -exp all -timing BENCH_$$(date +%Y-%m-%d).json >/dev/null
+
+# Full sharded-engine scale sweep: Figure 2-1's workload at 8x8,
+# 16x16 and 32x32 over shard counts 1..16, points run sequentially so
+# wall-clock speedup is honest. Exits nonzero if any sharded row's
+# elapsed cycles, messages or relaxations diverge from the serial row.
+scale:
+	$(GO) run ./cmd/plusbench -exp figure2-1-scale
 
 # Quick instrumented run: exercises the structured-event layer end to
 # end (plusbench validates the Chrome trace JSON round-trips through

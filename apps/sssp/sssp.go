@@ -166,7 +166,7 @@ func Run(cfg Config) (Result, error) {
 		Retransmits:   m.Stats().Retransmits,
 		TransportAcks: m.Stats().MsgTAck,
 		Reliability:   m.Stats().Reliability(),
-		Relaxations:   w.relaxations,
+		Relaxations:   sum(w.relaxations),
 		Dist:          w.readDist(),
 	}
 	if cfg.Validate {
@@ -198,7 +198,10 @@ type workspace struct {
 	// unreplicated configuration whose load imbalance Figure 2-1 shows.
 	visible [][]int
 
-	relaxations uint64
+	// relaxations is counted per worker: each processor's thread bumps
+	// only its own slot, so the tally stays race-free when processors
+	// run on different shards. Summed for Result.Relaxations.
+	relaxations []uint64
 }
 
 func (w *workspace) owner(v int32) int {
@@ -212,7 +215,8 @@ func (w *workspace) owner(v int32) int {
 func newWorkspace(m *core.Machine, g *Graph, cfg Config) *workspace {
 	w := &workspace{
 		m: m, g: g, cfg: cfg,
-		blk: (g.V + cfg.Procs - 1) / cfg.Procs,
+		blk:         (g.V + cfg.Procs - 1) / cfg.Procs,
+		relaxations: make([]uint64, cfg.Procs),
 	}
 
 	// Block-homed arrays: page i of dist belongs to the owner of its
@@ -354,8 +358,8 @@ func (w *workspace) distVA(v int32) memory.VAddr { return w.dist + memory.VAddr(
 const pipelineDepth = 4
 
 // process relaxes all edges of v, re-enqueueing improved targets.
-func (w *workspace) process(t *proc.Thread, v int32) {
-	w.relaxations++
+func (w *workspace) process(t *proc.Thread, p int, v int32) {
+	w.relaxations[p]++
 	t.Compute(w.cfg.VertexWork)
 	// dist[v] is read at the master via delayed-read: an authoritative
 	// value, so a concurrent improvement of dist[v] (which re-enqueues
@@ -407,8 +411,16 @@ func (w *workspace) worker(t *proc.Thread, p int) {
 		if !ok {
 			return
 		}
-		w.process(t, int32(v))
+		w.process(t, p, int32(v))
 	}
+}
+
+func sum(xs []uint64) uint64 {
+	var t uint64
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 func (w *workspace) readDist() []uint32 {

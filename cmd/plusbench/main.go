@@ -5,16 +5,18 @@
 // Usage:
 //
 //	plusbench [-exp all|ablations|<name>[,<name>...]] [-quick] [-json]
-//	          [-parallel N] [-chart] [-max-procs N] [-timing FILE] [-list]
+//	          [-parallel N] [-shards K] [-chart] [-max-procs N] [-timing FILE] [-list]
 //	          [-trace FILE] [-trace-window A:B] [-trace-events N]
 //	          [-sample N] [-hist]
 //	plusbench -compare OLD.json NEW.json [-threshold F]
 //
 // Every experiment is a sweep of independent simulation points run on
 // a worker pool of -parallel goroutines (default GOMAXPROCS); stdout
-// is byte-identical for any -parallel value. -json replaces the
-// tables with one JSON array of {experiment, title, points, rows}
-// objects. -timing writes a BENCH_<date>.json-style self-timing
+// is byte-identical for any -parallel value. -shards K additionally
+// runs each supporting point's machine on K shard engines —
+// parallelism inside one simulation rather than across points, with
+// byte-identical results either way. -json replaces the tables with
+// one JSON array of {experiment, title, points, rows} objects. -timing writes a BENCH_<date>.json-style self-timing
 // report (per-experiment wall-clock, point count, workers) so the
 // parallel speedup stays trackable.
 //
@@ -53,6 +55,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast run")
 	maxProcs := flag.Int("max-procs", 0, "cap the processor sweep (0 = experiment default)")
 	parallel := flag.Int("parallel", 0, "sweep-point worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "shard engines per machine where supported (0/1 = serial; orthogonal to -parallel)")
 	jsonOut := flag.Bool("json", false, "emit rows as a JSON array instead of tables")
 	chart := flag.Bool("chart", false, "render the figures as ASCII charts as well")
 	timing := flag.String("timing", "", "write a JSON self-timing report to this file")
@@ -83,7 +86,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "plusbench: %v\n", err)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Workers: *parallel}
+	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Workers: *parallel, Shards: *shards}
 	if *traceOut != "" || *hist {
 		ocfg := stats.ObserveConfig{
 			Events:      *traceEvents,

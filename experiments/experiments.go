@@ -15,8 +15,26 @@ import (
 
 	"plus/apps/beam"
 	"plus/apps/sssp"
+	"plus/internal/core"
 	"plus/internal/sim"
 )
+
+// shardedMachine resolves an SSSP point's machine override: the
+// observation's instrumented config when observing (observers are
+// serial-only, so Options.Shards is ignored), otherwise a default
+// config carrying Options.Shards when the knob is set and valid for
+// the mesh (the count must tile it; contention is serial-only).
+func shardedMachine(o Options, name string, w, h int, contention bool) *core.Config {
+	if mc := o.Observe.MachineFor(name, w, h); mc != nil {
+		return mc
+	}
+	if o.Shards > 1 && !contention && o.Shards <= w*h && (w*h)%o.Shards == 0 {
+		mc := core.DefaultConfig(w, h)
+		mc.Shards = o.Shards
+		return &mc
+	}
+	return nil
+}
 
 // meshFor returns a near-square mesh holding at least p nodes.
 func meshFor(p int) (w, h int) {
@@ -71,7 +89,7 @@ func table21Points(o Options) []Point[Table21Row] {
 					MeshW: 4, MeshH: 4, Procs: 16,
 					Vertices: vertices, Degree: 4, Seed: 42,
 					Copies: copies, Validate: true,
-					Machine: o.Observe.MachineFor(name, 4, 4),
+					Machine: shardedMachine(o, name, 4, 4, false),
 				})
 				if err != nil {
 					return Table21Row{}, err
@@ -176,7 +194,7 @@ func figure21Points(o Options, contention bool) []Point[Fig21Point] {
 						Vertices: vertices, Degree: 4, Seed: 42,
 						Copies: copies, Validate: true,
 						Contention: contention,
-						Machine:    o.Observe.MachineFor(name, w, h),
+						Machine:    shardedMachine(o, name, w, h, contention),
 					})
 					if err != nil {
 						return Fig21Point{}, err

@@ -86,6 +86,9 @@ var registry = []Experiment{
 	placementExperiment("ext-placement", "Extension: profile-guided placement (§2.4 second mode)"),
 	newExperiment("faults", "Fault sweep: SSSP under message loss",
 		faultPoints, fillFaultSlowdown, FormatFaultSweep, nil),
+	scaleExperiment(),
+	newExperiment("ext-linkbuf", "Extension: link-buffer depth vs backpressure (8x8, contention)",
+		linkbufPoints, fillLinkbufSlowdown, FormatLinkbuf, nil),
 }
 
 // ablationExperiment builds a registry entry for a sweep whose rows

@@ -21,6 +21,14 @@ type Options struct {
 	// DropRates overrides the fault sweep's loss rates (fault sweep
 	// only; nil = its default 0, 0.001, 0.01, 0.05).
 	DropRates []float64
+	// Shards runs each point's machine on that many shard engines where
+	// the workload supports it (SSSP sweeps without contention or
+	// observers, and the scale experiment, which then sweeps {1, Shards}
+	// instead of its default shard list). Results are byte-identical to
+	// serial runs; the knob trades wall-clock time inside one point,
+	// orthogonally to Workers, which runs independent points
+	// concurrently. 0 or 1 = serial points.
+	Shards int
 	// Observe, when non-nil, instruments every sweep point with a
 	// structured-event observer (one per point; see observe.go). Nil
 	// keeps all simulation hot paths allocation-free.

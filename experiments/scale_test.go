@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"plus/apps/sssp"
+	"plus/internal/core"
+)
+
+// TestScaleQuickEquivalence runs the scale experiment's quick leg end
+// to end: the 8x8 sweep over shard counts 1, 2, 4, 8 and 16, with
+// checkScaleEquivalence rejecting any divergence from the serial row.
+func TestScaleQuickEquivalence(t *testing.T) {
+	e, ok := Lookup("figure2-1-scale")
+	if !ok {
+		t.Fatal("figure2-1-scale not registered")
+	}
+	res, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]ScaleRow)
+	if !ok || len(rows) != 5 {
+		t.Fatalf("quick leg: got %d rows, want 5 (shards 1,2,4,8,16)", len(rows))
+	}
+}
+
+// TestScale32x32Equivalence is the acceptance check at full scale: the
+// 32x32 (1024-processor) SSSP run on 8 shards must be byte-identical
+// to the serial run — same elapsed cycles, same message counts, same
+// shortest-path distances, same counter block.
+func TestScale32x32Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32x32 runs take seconds each; run without -short")
+	}
+	run := func(shards int) sssp.Result {
+		mc := core.DefaultConfig(32, 32)
+		mc.Shards = shards
+		res, err := sssp.Run(sssp.Config{
+			MeshW: 32, MeshH: 32, Procs: 1024,
+			Vertices: 2048, Degree: 4, Seed: 42,
+			Copies: 4, Validate: true,
+			Machine: &mc,
+		})
+		if err != nil {
+			t.Fatalf("sssp.Run(shards=%d): %v", shards, err)
+		}
+		res.Report = "" // rendered text, compared via the counters it prints
+		return res
+	}
+	serial := run(1)
+	sharded := run(8)
+	if serial.Elapsed != sharded.Elapsed {
+		t.Errorf("elapsed: shards=8 %d != serial %d", sharded.Elapsed, serial.Elapsed)
+	}
+	if !reflect.DeepEqual(serial.Dist, sharded.Dist) {
+		t.Error("shortest-path distances diverged between serial and 8 shards")
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("results diverged: serial %+v != shards=8 %+v", serial.Totals, sharded.Totals)
+	}
+}

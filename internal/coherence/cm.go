@@ -220,15 +220,15 @@ func packAddr(g GAddr) uint64 {
 	return uint64(g.Node)<<48 | uint64(g.Page)<<16 | uint64(g.Off)
 }
 
-// newMsg draws a cleared message from the mesh free-list.
+// newMsg draws a cleared message from this node's shard free-list.
 func (cm *CM) newMsg(kind uint8, origin mesh.NodeID, id uint64) *mesh.Msg {
-	m := cm.net.AllocMsg()
+	m := cm.net.AllocMsgAt(cm.self)
 	m.Kind, m.Origin, m.ID = kind, origin, id
 	return m
 }
 
-// freeMsg recycles a consumed message.
-func (cm *CM) freeMsg(m *mesh.Msg) { cm.net.FreeMsg(m) }
+// freeMsg recycles a consumed message onto this node's shard free-list.
+func (cm *CM) freeMsg(m *mesh.Msg) { cm.net.FreeMsgAt(cm.self, m) }
 
 // --- Kernel-side table maintenance -----------------------------------
 

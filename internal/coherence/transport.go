@@ -70,7 +70,7 @@ func (cm *CM) transportSend(dst mesh.NodeID, m *mesh.Msg) {
 	tx := &cm.tx[dst]
 	tx.nextSeq++
 	m.Seq = tx.nextSeq
-	c := cm.net.CloneMsg(m)
+	c := cm.net.CloneMsgAt(cm.self, m)
 	c.Dst = dst
 	tx.queue = append(tx.queue, c)
 	if len(tx.queue) == 1 {
@@ -174,7 +174,7 @@ func (cm *CM) fireRetrans(tk *retransTimer) {
 		if o != nil {
 			o.Emit(stats.EvRetransmit, int(cm.self), c.Kind, c.Cause, uint64(tk.dst), c.Seq)
 		}
-		cm.net.Send(cm.self, tk.dst, flits(c), cm.net.CloneMsg(c))
+		cm.net.Send(cm.self, tk.dst, flits(c), cm.net.CloneMsgAt(cm.self, c))
 	}
 	if tx.rto < maxBackoff*cm.tm.RetransTimeout {
 		tx.rto *= 2
@@ -203,7 +203,7 @@ func (cm *CM) armRetrans(dst mesh.NodeID, delay sim.Cycles) {
 
 // sendTAck returns a cumulative transport ack to a peer.
 func (cm *CM) sendTAck(dst mesh.NodeID, cum uint64) {
-	a := cm.net.AllocMsg()
+	a := cm.net.AllocMsgAt(cm.self)
 	a.Kind = kTAck
 	a.Origin = cm.self
 	a.Seq = cum

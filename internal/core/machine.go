@@ -56,9 +56,21 @@ type Config struct {
 	// buffers (see mesh.FaultConfig). The zero value is the reliable
 	// network of the 1990 hardware.
 	Faults mesh.FaultConfig
+	// Shards partitions the mesh into that many equal contiguous bands
+	// of nodes, each simulated on its own event queue by its own worker
+	// goroutine under conservative lookahead (see internal/sim.ShardSet
+	// and mesh.Config.Shards). 0 or 1 runs serially. Sharded runs are
+	// deterministic and byte-identical to serial ones — same elapsed
+	// cycles, counters and memory images — but several serial-only
+	// features are unavailable: link contention, structured observers,
+	// competitive replication, runtime page reorganization, and
+	// cross-shard thread Wake.
+	Shards int
 	// CheckInvariants runs the coherence invariant checker periodically
 	// during Run and once at the end: single master per page, intact
-	// copy-list chains, and replica convergence at quiescence.
+	// copy-list chains, and replica convergence at quiescence. Sharded
+	// runs check at lookahead barriers (all shards quiescent) instead of
+	// on a scheduled tick.
 	CheckInvariants bool
 	// InvariantPeriod is the cycle interval between runtime invariant
 	// checks when CheckInvariants is set (0 means 10000).
@@ -87,16 +99,20 @@ func DefaultConfig(w, h int) Config {
 
 // Machine is a complete simulated PLUS multiprocessor.
 type Machine struct {
-	cfg    Config
-	eng    *sim.Engine
-	net    *mesh.Mesh
-	st     *stats.Machine
-	mems   []*memory.Memory
-	caches []*cache.Cache
-	cms    []*coherence.CM
-	tables []*mmu.Table
-	kern   *kernel.Kernel
-	procs  []*proc.Proc
+	cfg Config
+	eng *sim.Engine
+	// engines holds one engine per shard (engines[0] == eng); shardViews
+	// holds each shard's private stats.Machine view (nil when serial).
+	engines    []*sim.Engine
+	shardViews []*stats.Machine
+	net        *mesh.Mesh
+	st         *stats.Machine
+	mems       []*memory.Memory
+	caches     []*cache.Cache
+	cms        []*coherence.CM
+	tables     []*mmu.Table
+	kern       *kernel.Kernel
+	procs      []*proc.Proc
 
 	threads []*proc.Thread
 	nextTID int
@@ -121,21 +137,51 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Mode == proc.SwitchOnSync && cfg.SwitchCost == 0 {
 		return nil, errors.New("core: SwitchOnSync mode requires a SwitchCost")
 	}
-	eng := sim.NewEngine()
 	mcfg := mesh.DefaultConfig(cfg.MeshWidth, cfg.MeshHeight)
 	mcfg.Contention = cfg.NetContention
 	mcfg.Faults = cfg.Faults
+	mcfg.Shards = cfg.Shards
 	if err := mcfg.Validate(); err != nil {
 		return nil, err
 	}
-	net := mesh.New(eng, mcfg)
+	k := mcfg.ShardCount()
+	if k > 1 {
+		switch {
+		case cfg.CompetitiveThreshold > 0:
+			return nil, errors.New("core: competitive replication is serial-only (background copy-list splices cross shards); run with Shards <= 1")
+		case cfg.Observe != nil:
+			return nil, errors.New("core: the structured-event observer is serial-only; run with Shards <= 1")
+		}
+	}
+	engines := make([]*sim.Engine, k)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	eng := engines[0]
+	var net *mesh.Mesh
+	if k > 1 {
+		net = mesh.NewSharded(engines, mcfg)
+	} else {
+		net = mesh.New(eng, mcfg)
+	}
 	n := net.Nodes()
 	st := stats.New(n)
-	m := &Machine{cfg: cfg, eng: eng, net: net, st: st}
+	m := &Machine{cfg: cfg, eng: eng, engines: engines, net: net, st: st}
+	// Each shard's components write stats through a per-shard view:
+	// node-disjoint per-node counters share the master's backing slice;
+	// machine-wide scalars accumulate privately and fold in after Run.
+	cmSt := func(i int) *stats.Machine { return st }
+	if k > 1 {
+		m.shardViews = make([]*stats.Machine, k)
+		for s := range m.shardViews {
+			m.shardViews[s] = st.ShardView()
+		}
+		cmSt = func(i int) *stats.Machine { return m.shardViews[net.ShardOf(mesh.NodeID(i))] }
+	}
 	for i := 0; i < n; i++ {
 		mem := memory.New()
 		ca := cache.New(cfg.Cache, cfg.Timing)
-		cm := coherence.New(mesh.NodeID(i), eng, net, mem, ca, cfg.Timing, st)
+		cm := coherence.New(mesh.NodeID(i), net.EngineFor(mesh.NodeID(i)), net, mem, ca, cfg.Timing, cmSt(i))
 		cm.SetInvalidateMode(cfg.InvalidateMode)
 		m.mems = append(m.mems, mem)
 		m.caches = append(m.caches, ca)
@@ -145,33 +191,39 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.kern = kernel.New(eng, net, m.cms, m.mems, m.tables, cfg.Timing, st)
 	m.kern.SetCompetitiveThreshold(cfg.CompetitiveThreshold)
 	for i := 0; i < n; i++ {
-		p := proc.New(mesh.NodeID(i), eng, m.cms[i], m.kern,
-			m.tables[i], cfg.Timing, st, cfg.Mode, cfg.SwitchCost)
+		p := proc.New(mesh.NodeID(i), net.EngineFor(mesh.NodeID(i)), m.cms[i], m.kern,
+			m.tables[i], cfg.Timing, cmSt(i), cfg.Mode, cfg.SwitchCost)
 		p.SetFenceOnSync(cfg.FenceOnSync)
 		m.procs = append(m.procs, p)
 	}
 	if cfg.CheckInvariants {
 		m.inv = &InvariantChecker{kern: m.kern, cms: m.cms, skipConvergence: cfg.InvalidateMode}
-		period := cfg.InvariantPeriod
-		if period == 0 {
-			period = 10000
-		}
-		// The tick re-arms itself only while other events remain, so it
-		// never keeps an otherwise-drained engine alive; the first
-		// violation is recorded and checking stops.
-		var tick func()
-		tick = func() {
-			if m.invErr == nil {
-				if err := m.inv.Check(); err != nil {
-					m.invErr = fmt.Errorf("%w (at cycle %d)", err, eng.Now())
-					return
+		if k == 1 {
+			period := cfg.InvariantPeriod
+			if period == 0 {
+				period = 10000
+			}
+			// The tick re-arms itself only while other events remain, so it
+			// never keeps an otherwise-drained engine alive; the first
+			// violation is recorded and checking stops.
+			var tick func()
+			tick = func() {
+				if m.invErr == nil {
+					if err := m.inv.Check(); err != nil {
+						m.invErr = fmt.Errorf("%w (at cycle %d)", err, eng.Now())
+						return
+					}
+				}
+				if eng.Pending() > 0 {
+					eng.Schedule(period, tick)
 				}
 			}
-			if eng.Pending() > 0 {
-				eng.Schedule(period, tick)
-			}
+			eng.Schedule(period, tick)
 		}
-		eng.Schedule(period, tick)
+		// Sharded: runSharded checks at lookahead barriers instead — the
+		// checker reads every shard's CM state, which is only safe with
+		// all workers quiescent, and a scheduled tick would perturb the
+		// event schedule's shard-equivalence anyway.
 	}
 	if cfg.Observe != nil {
 		m.attachObserver(cfg.Observe)
@@ -392,9 +444,13 @@ func (m *Machine) ActiveProcs() int {
 // remain parked with no pending events (deadlock: a Sleep with no
 // Wake, a lock never released).
 func (m *Machine) Run() (sim.Cycles, error) {
-	m.started = m.eng.Now()
-	m.eng.Run()
-	m.elapsed = m.eng.Now() - m.started
+	if len(m.engines) > 1 {
+		m.runSharded()
+	} else {
+		m.started = m.eng.Now()
+		m.eng.Run()
+		m.elapsed = m.eng.Now() - m.started
+	}
 	m.ran = true
 	var stuck []string
 	for _, t := range m.threads {
@@ -430,6 +486,67 @@ func (m *Machine) Run() (sim.Cycles, error) {
 		}
 	}
 	return m.elapsed, nil
+}
+
+// runSharded drives the per-shard engines in lookahead rounds until
+// the machine drains, then folds the shard stats views into the master
+// block. Elapsed time is the latest actual activity on any shard —
+// RunUntil drags each shard's clock to the round horizon, but
+// LastActivityAt records only real work, so the figure matches the
+// serial engine's final clock exactly.
+func (m *Machine) runSharded() {
+	started := m.engines[0].Now()
+	for _, e := range m.engines[1:] {
+		if t := e.Now(); t > started {
+			started = t
+		}
+	}
+	ss := &sim.ShardSet{
+		Engines: m.engines,
+		Window:  m.net.Config().LookaheadWindow(),
+		Drain:   func() int { return m.net.DrainMail() },
+	}
+	if m.inv != nil {
+		period := m.cfg.InvariantPeriod
+		if period == 0 {
+			period = 10000
+		}
+		next := started + period
+		ss.AtBarrier = func() {
+			if m.invErr != nil {
+				return
+			}
+			cur := m.lastActivity()
+			if cur < next {
+				return
+			}
+			if err := m.inv.Check(); err != nil {
+				m.invErr = fmt.Errorf("%w (at cycle %d)", err, cur)
+				return
+			}
+			for next <= cur {
+				next += period
+			}
+		}
+	}
+	ss.Run()
+	m.started = started
+	m.elapsed = m.lastActivity() - started
+	for _, v := range m.shardViews {
+		m.st.FoldShard(v)
+	}
+}
+
+// lastActivity returns the latest LastActivityAt across the shard
+// engines.
+func (m *Machine) lastActivity() sim.Cycles {
+	var t sim.Cycles
+	for _, e := range m.engines {
+		if a := e.LastActivityAt(); a > t {
+			t = a
+		}
+	}
+	return t
 }
 
 // Elapsed returns the virtual time consumed by the last Run.

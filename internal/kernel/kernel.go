@@ -40,9 +40,12 @@ type Kernel struct {
 
 	// Competitive replication (§2.4): per-(node, page) remote reference
 	// counters maintained by hardware; when one overflows the
-	// threshold, the kernel replicates the page onto that node.
+	// threshold, the kernel replicates the page onto that node. The
+	// counters are held per referencing node — each node's counter map is
+	// written only by that node's own references, so under sharding every
+	// map stays on its owner's shard and NoteRemoteRef never races.
 	threshold   uint64
-	refCounts   map[refKey]uint64
+	refCounts   []map[memory.VPage]uint64
 	replicating map[refKey]bool
 	// Replications counts competitive replications triggered.
 	Replications uint64
@@ -61,6 +64,10 @@ type refKey struct {
 
 // New assembles the kernel over the machine's nodes.
 func New(eng *sim.Engine, net *mesh.Mesh, cms []*coherence.CM, mems []*memory.Memory, tables []*mmu.Table, tm timing.Timing, st *stats.Machine) *Kernel {
+	refs := make([]map[memory.VPage]uint64, net.Nodes())
+	for i := range refs {
+		refs[i] = make(map[memory.VPage]uint64)
+	}
 	return &Kernel{
 		eng:         eng,
 		net:         net,
@@ -70,10 +77,15 @@ func New(eng *sim.Engine, net *mesh.Mesh, cms []*coherence.CM, mems []*memory.Me
 		tm:          tm,
 		st:          st,
 		copyLists:   make(map[memory.VPage][]memory.GPage),
-		refCounts:   make(map[refKey]uint64),
+		refCounts:   refs,
 		replicating: make(map[refKey]bool),
 	}
 }
+
+// sharded reports whether the machine runs on more than one shard, in
+// which case the page-reorganization services — which mutate copy-lists
+// and other nodes' CM tables in place — are unavailable at runtime.
+func (k *Kernel) sharded() bool { return k.net.Config().ShardCount() > 1 }
 
 // SetCompetitiveThreshold enables the competitive replication policy:
 // after threshold remote references from one node to one page, the
@@ -203,6 +215,9 @@ func (k *Kernel) ReplicateNow(vp memory.VPage, node mesh.NodeID) {
 // done fires when the copy is complete and the node's mapping has been
 // switched to the local copy.
 func (k *Kernel) Replicate(vp memory.VPage, node mesh.NodeID, done func()) {
+	if k.sharded() {
+		panic("kernel: background Replicate is serial-only (splices other shards' CM tables in place); run with Shards <= 1")
+	}
 	if k.HasCopy(vp, node) {
 		if done != nil {
 			done()
@@ -257,6 +272,9 @@ func (k *Kernel) splice(vp memory.VPage, pos int, gp memory.GPage) {
 // write quiescence and panics otherwise — the simulated workloads
 // fence before reorganizing memory, exactly as real software must.
 func (k *Kernel) DeleteCopy(vp memory.VPage, node mesh.NodeID) {
+	if k.sharded() {
+		panic("kernel: DeleteCopy is serial-only (rewrites other shards' CM tables in place); run with Shards <= 1")
+	}
 	for _, cm := range k.cms {
 		if cm.PendingCount() != 0 {
 			panic("kernel: DeleteCopy while writes are in flight")
@@ -325,17 +343,18 @@ func (k *Kernel) Migrate(vp memory.VPage, from, to mesh.NodeID) {
 // the competitive algorithm of [5]: once the cumulative cost of remote
 // references exceeds the cost of creating a copy, create it.
 func (k *Kernel) NoteRemoteRef(node mesh.NodeID, vp memory.VPage) {
-	key := refKey{node, vp}
-	k.refCounts[key]++
+	refs := k.refCounts[node]
+	refs[vp]++
 	if k.threshold == 0 {
 		return
 	}
-	if k.refCounts[key] >= k.threshold && !k.replicating[key] && !k.HasCopy(vp, node) {
+	key := refKey{node, vp}
+	if refs[vp] >= k.threshold && !k.replicating[key] && !k.HasCopy(vp, node) {
 		k.replicating[key] = true
 		k.Replications++
 		k.Replicate(vp, node, func() {
 			k.replicating[key] = false
-			k.refCounts[key] = 0
+			refs[vp] = 0
 		})
 	}
 }
@@ -346,16 +365,18 @@ func (k *Kernel) NoteRemoteRef(node mesh.NodeID, vp memory.VPage) {
 // memory layout (see the placement package).
 func (k *Kernel) RemoteRefProfile() map[memory.VPage]map[mesh.NodeID]uint64 {
 	out := make(map[memory.VPage]map[mesh.NodeID]uint64)
-	for key, c := range k.refCounts {
-		if c == 0 {
-			continue
+	for node, refs := range k.refCounts {
+		for vp, c := range refs {
+			if c == 0 {
+				continue
+			}
+			pg := out[vp]
+			if pg == nil {
+				pg = make(map[mesh.NodeID]uint64)
+				out[vp] = pg
+			}
+			pg[mesh.NodeID(node)] = c
 		}
-		pg := out[key.page]
-		if pg == nil {
-			pg = make(map[mesh.NodeID]uint64)
-			out[key.page] = pg
-		}
-		pg[key.node] = c
 	}
 	return out
 }
@@ -363,7 +384,7 @@ func (k *Kernel) RemoteRefProfile() map[memory.VPage]map[mesh.NodeID]uint64 {
 // RefCount returns the hardware remote-reference counter for (node,
 // page), for tests and instrumentation.
 func (k *Kernel) RefCount(node mesh.NodeID, vp memory.VPage) uint64 {
-	return k.refCounts[refKey{node, vp}]
+	return k.refCounts[node][vp]
 }
 
 // Poke writes v directly into every copy of the word at vp+off,

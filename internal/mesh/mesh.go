@@ -61,7 +61,19 @@ type Config struct {
 	// Faults configures the unreliable-network mode. The zero value is
 	// the paper's perfect network.
 	Faults FaultConfig
+	// Shards partitions the mesh into that many equal contiguous
+	// row-major bands of nodes, each simulated on its own event queue
+	// under conservative lookahead (0 or 1 = serial). The shard count
+	// must tile the mesh: Width*Height divisible by Shards. Requires
+	// Contention off — the per-link queues are shared state no shard
+	// owns.
+	Shards int
 }
+
+// MaxNodes bounds the supported mesh size (64x64). The limit is a
+// sanity check, not an architectural one: per-node state is O(nodes),
+// and a config with an absurd node count is almost always a typo.
+const MaxNodes = 64 * 64
 
 // FaultConfig is the deterministic fault model for the unreliable
 // network mode. Faults are injected at Send from a PRNG seeded with
@@ -116,6 +128,21 @@ func (c Config) Validate() error {
 	switch {
 	case c.Width < 1 || c.Height < 1:
 		return fmt.Errorf("mesh: invalid geometry %dx%d (dims must be positive)", c.Width, c.Height)
+	case c.Width*c.Height > MaxNodes:
+		return fmt.Errorf("mesh: %dx%d = %d nodes exceeds the supported maximum %d (64x64); large-scale runs top out at 32x32 with sharding",
+			c.Width, c.Height, c.Width*c.Height, MaxNodes)
+	case c.Shards < 0:
+		return fmt.Errorf("mesh: negative shard count %d", c.Shards)
+	case c.Shards > c.Width*c.Height:
+		return fmt.Errorf("mesh: %d shards exceed the mesh's %d nodes (%dx%d): a shard must own at least one node",
+			c.Shards, c.Width*c.Height, c.Width, c.Height)
+	case c.Shards > 1 && c.Width*c.Height%c.Shards != 0:
+		return fmt.Errorf("mesh: %d shards do not tile the %dx%d mesh: %d nodes %% %d shards = %d left over (pick a divisor of the node count)",
+			c.Shards, c.Width, c.Height, c.Width*c.Height, c.Shards, c.Width*c.Height%c.Shards)
+	case c.Shards > 1 && c.Contention:
+		return fmt.Errorf("mesh: the contention model is serial-only (per-link queues are shared across shards); run with Shards <= 1 or Contention off")
+	case c.Shards > 1 && c.Base+c.PerHop < 1:
+		return fmt.Errorf("mesh: sharding requires a positive minimum link latency (Base+PerHop = %d) for conservative lookahead", c.Base+c.PerHop)
 	case c.Contention && c.FlitCycles < 1:
 		return fmt.Errorf("mesh: contention model requires FlitCycles >= 1 (got %d)", c.FlitCycles)
 	case c.Faults.LinkBufFlits < 0:
@@ -134,6 +161,32 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ShardCount returns the effective number of shards (>= 1).
+func (c Config) ShardCount() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// ShardOf returns the shard owning a node: equal contiguous row-major
+// bands, the single source of truth for event ownership.
+func (c Config) ShardOf(id NodeID) int {
+	k := c.ShardCount()
+	if k == 1 {
+		return 0
+	}
+	return int(id) / (c.Width * c.Height / k)
+}
+
+// LookaheadWindow returns the conservative lookahead the shard runner
+// may use: the minimum latency of any cross-shard message. Any two
+// distinct nodes are at least one hop apart, so Base + PerHop bounds
+// every cross-shard delivery regardless of how the bands fall.
+func (c Config) LookaheadWindow() sim.Cycles {
+	return c.Base + c.PerHop
 }
 
 // DefaultConfig returns the paper-calibrated mesh: one-way adjacent
@@ -241,27 +294,58 @@ type Stats struct {
 	Nacked     uint64 // messages refused by a full link buffer
 }
 
+// msgPool is one shard's message free-list. Each shard recycles
+// messages through its own pool so allocation never crosses shard
+// worker goroutines; a message freed on a different shard than it was
+// allocated on simply migrates pools (it is fully cleared either way).
+type msgPool struct {
+	free []*Msg
+	live int
+}
+
+// mailEntry is one cross-shard delivery awaiting injection at the next
+// lookahead barrier: the arrival time and the tie-break key drawn on
+// the sending shard's engine at Send time, so the event sorts into the
+// destination queue exactly where the serial schedule would put it.
+type mailEntry struct {
+	at   sim.Cycles
+	lane int32
+	seq  uint64
+	ms   *Msg
+}
+
 // Mesh is the interconnection network. It is not safe for concurrent
 // use; like every simulated component it runs under the engine's
-// single logical thread.
+// single logical thread — or, sharded, under each shard engine's
+// logical thread, touching only that shard's slice of the state.
 type Mesh struct {
 	cfg   Config
 	eng   *sim.Engine
 	ports []Port
+	// engines holds one engine per shard (length ShardCount; engines[0]
+	// == eng in the serial case). shardOf maps each node to its owner.
+	engines []*sim.Engine
+	shardOf []int32
+	// mail[srcShard*K+dstShard] buffers cross-shard deliveries between
+	// lookahead barriers. Only the source shard's worker appends, so no
+	// lock is needed; DrainMail runs with all workers quiescent.
+	mail [][]mailEntry
 	// linkSlot[from*4+dir] indexes linkFree for the directed link
 	// leaving from in direction dir, or -1 where the mesh edge has no
 	// such link. linkFree has exactly one entry per physical directed
-	// link. Used only when Contention is on.
+	// link. Used only when Contention is on (serial-only).
 	linkSlot []int32
 	linkFree []sim.Cycles
-	// free is the message free-list; AllocMsg/FreeMsg recycle Msg
-	// objects and their payload slices across protocol hops. live
-	// tracks messages currently out of the pool, for balance checks.
-	free []*Msg
-	live int
-	// frand drives the fault model; nil when drop/dup/delay are all 0.
-	frand *rand.Rand
-	stats Stats
+	// pools holds one message free-list per shard.
+	pools []msgPool
+	// frands drives the fault model, one PRNG per source node (keyed by
+	// the sender, so fault draws stay on the sender's shard and the
+	// sequence each node sees is identical for any shard count). Nil
+	// when drop/dup/delay are all 0.
+	frands []*rand.Rand
+	// shStats accumulates network statistics per shard (all writes
+	// happen on the sending shard); Stats() sums the blocks.
+	shStats []Stats
 	// obs, when non-nil, receives structured network events; linkBusy
 	// accumulates per-link occupancy cycles for its utilization samples.
 	// Both are inert (single nil check) when tracing is off.
@@ -269,21 +353,51 @@ type Mesh struct {
 	linkBusy []sim.Cycles
 }
 
-// New creates a mesh. Ports are registered per node with Attach before
-// any traffic is sent.
+// New creates a serial mesh. Ports are registered per node with Attach
+// before any traffic is sent.
 func New(eng *sim.Engine, cfg Config) *Mesh {
+	if cfg.ShardCount() != 1 {
+		panic(fmt.Sprintf("mesh: New with Shards=%d (use NewSharded with one engine per shard)", cfg.Shards))
+	}
+	return newMesh([]*sim.Engine{eng}, cfg)
+}
+
+// NewSharded creates a mesh whose nodes are partitioned over one
+// engine per shard (see Config.ShardOf). Cross-shard sends buffer in
+// per-shard mailboxes; the shard runner delivers them with DrainMail
+// at each lookahead barrier.
+func NewSharded(engines []*sim.Engine, cfg Config) *Mesh {
+	if len(engines) != cfg.ShardCount() {
+		panic(fmt.Sprintf("mesh: NewSharded with %d engines for %d shards", len(engines), cfg.ShardCount()))
+	}
+	return newMesh(engines, cfg)
+}
+
+func newMesh(engines []*sim.Engine, cfg Config) *Mesh {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
 	n := cfg.Width * cfg.Height
+	k := cfg.ShardCount()
 	m := &Mesh{
 		cfg:      cfg,
-		eng:      eng,
+		eng:      engines[0],
+		engines:  engines,
+		shardOf:  make([]int32, n),
+		mail:     make([][]mailEntry, k*k),
 		ports:    make([]Port, n),
+		pools:    make([]msgPool, k),
+		shStats:  make([]Stats, k),
 		linkSlot: make([]int32, n*4),
 	}
+	for id := 0; id < n; id++ {
+		m.shardOf[id] = int32(cfg.ShardOf(NodeID(id)))
+	}
 	if cfg.Faults.lossy() {
-		m.frand = rand.New(rand.NewSource(cfg.Faults.Seed))
+		m.frands = make([]*rand.Rand, n)
+		for id := 0; id < n; id++ {
+			m.frands[id] = rand.New(rand.NewSource(cfg.Faults.Seed + int64(id)))
+		}
 	}
 	// Assign each existing directed link a dense slot; edge nodes get
 	// exactly their real out-degree, so linkFree holds one entry per
@@ -325,13 +439,59 @@ func (m *Mesh) DirectedLinks() int { return len(m.linkFree) }
 // Config returns the mesh configuration.
 func (m *Mesh) Config() Config { return m.cfg }
 
-// Stats returns a copy of the accumulated network statistics.
-func (m *Mesh) Stats() Stats { return m.stats }
+// Stats returns the accumulated network statistics, summed over
+// shards. Call it only with the simulation quiescent (between runs or
+// at barriers); mid-round reads would race with shard workers.
+func (m *Mesh) Stats() Stats {
+	t := m.shStats[0]
+	for _, s := range m.shStats[1:] {
+		t.Messages += s.Messages
+		t.Hops += s.Hops
+		t.Flits += s.Flits
+		t.QueueWait += s.QueueWait
+		t.Dropped += s.Dropped
+		t.Duplicated += s.Duplicated
+		t.Delayed += s.Delayed
+		t.Nacked += s.Nacked
+	}
+	return t
+}
+
+// ShardOf returns the shard that owns a node's events.
+func (m *Mesh) ShardOf(id NodeID) int { return int(m.shardOf[id]) }
+
+// EngineFor returns the engine owning a node's events.
+func (m *Mesh) EngineFor(id NodeID) *sim.Engine { return m.engines[m.shardOf[id]] }
+
+// DrainMail injects every buffered cross-shard delivery into its
+// destination shard's queue and returns how many it moved. The shard
+// runner calls it at lookahead barriers with every worker quiescent;
+// each entry carries the tie-break key drawn at Send time, and the
+// engines order their heaps by key, so injection order is irrelevant
+// and the merged schedule matches the serial one exactly.
+func (m *Mesh) DrainMail() int {
+	moved := 0
+	for box, entries := range m.mail {
+		if len(entries) == 0 {
+			continue
+		}
+		dst := m.engines[box%len(m.engines)]
+		for _, e := range entries {
+			dst.InjectEventAt(e.at, e.lane, e.seq, m, evDeliver, e.ms)
+		}
+		moved += len(entries)
+		m.mail[box] = entries[:0]
+	}
+	return moved
+}
 
 // SetObserver attaches the structured-event observer (nil = tracing
 // off, the default). core.NewMachine wires this; with no observer the
 // send path performs a single nil check and nothing else.
 func (m *Mesh) SetObserver(o *stats.Observer) {
+	if o != nil && len(m.engines) > 1 {
+		panic("mesh: the structured-event observer is serial-only (one shared ring); run with Shards <= 1")
+	}
 	m.obs = o
 	if o != nil && m.linkBusy == nil {
 		m.linkBusy = make([]sim.Cycles, len(m.linkFree))
@@ -400,44 +560,63 @@ func (m *Mesh) Attach(id NodeID, p Port) {
 	m.ports[id] = p
 }
 
-// AllocMsg returns a cleared message from the free-list (or a new one
-// when the list is empty), retaining the capacity of its payload
-// slices. Senders fill it and pass it to Send; the final consumer
-// returns it with FreeMsg.
-func (m *Mesh) AllocMsg() *Msg {
-	m.live++
-	if n := len(m.free); n > 0 {
-		ms := m.free[n-1]
-		m.free = m.free[:n-1]
+// AllocMsgAt returns a cleared message from the free-list of the shard
+// owning the acting node (or a new one when that list is empty),
+// retaining the capacity of its payload slices. Senders fill it and
+// pass it to Send; the final consumer returns it with FreeMsgAt.
+func (m *Mesh) AllocMsgAt(at NodeID) *Msg {
+	p := &m.pools[m.shardOf[at]]
+	p.live++
+	if n := len(p.free); n > 0 {
+		ms := p.free[n-1]
+		p.free = p.free[:n-1]
 		ms.pooled = false
 		return ms
 	}
 	return &Msg{}
 }
 
-// FreeMsg recycles a message onto the free-list. The caller must not
-// retain the message or its slices afterwards. Freeing a message that
-// is already on the free-list panics: a double-free would hand the
-// same message to two owners and silently corrupt the protocol.
-func (m *Mesh) FreeMsg(ms *Msg) {
+// AllocMsg is AllocMsgAt for serial meshes and machine-level callers
+// (tests, setup paths): it draws from shard 0's pool.
+func (m *Mesh) AllocMsg() *Msg { return m.AllocMsgAt(0) }
+
+// FreeMsgAt recycles a message onto the free-list of the shard owning
+// the acting node. The caller must not retain the message or its
+// slices afterwards. Freeing a message that is already pooled panics:
+// a double-free would hand the same message to two owners and silently
+// corrupt the protocol.
+func (m *Mesh) FreeMsgAt(at NodeID, ms *Msg) {
 	if ms.pooled {
 		panic("mesh: double free of pooled Msg")
 	}
 	*ms = Msg{Writes: ms.Writes[:0], Data: ms.Data[:0], pooled: true}
-	m.live--
-	m.free = append(m.free, ms)
+	p := &m.pools[m.shardOf[at]]
+	p.live--
+	p.free = append(p.free, ms)
 }
 
-// LiveMsgs returns the number of messages currently checked out of the
-// free-list (allocated and not yet freed). A drained simulation must
-// return to zero; the pool-balance tests pin that for the fault paths.
-func (m *Mesh) LiveMsgs() int { return m.live }
+// FreeMsg is FreeMsgAt onto shard 0's pool, for serial meshes and
+// machine-level callers.
+func (m *Mesh) FreeMsg(ms *Msg) { m.FreeMsgAt(0, ms) }
 
-// CloneMsg returns a pooled deep copy of src: all wire fields plus the
-// payload slices. Used by the fault injector's duplicate path and the
-// reliability sublayer's retransmit buffer.
-func (m *Mesh) CloneMsg(src *Msg) *Msg {
-	c := m.AllocMsg()
+// LiveMsgs returns the number of messages currently checked out of the
+// free-lists (allocated and not yet freed), summed over shards. A
+// drained simulation must return to zero; the pool-balance tests pin
+// that for the fault paths.
+func (m *Mesh) LiveMsgs() int {
+	live := 0
+	for i := range m.pools {
+		live += m.pools[i].live
+	}
+	return live
+}
+
+// CloneMsgAt returns a pooled deep copy of src from the acting node's
+// shard pool: all wire fields plus the payload slices. Used by the
+// fault injector's duplicate path and the reliability sublayer's
+// retransmit buffer.
+func (m *Mesh) CloneMsgAt(at NodeID, src *Msg) *Msg {
+	c := m.AllocMsgAt(at)
 	w, d := c.Writes, c.Data
 	*c = *src
 	c.pooled = false
@@ -445,6 +624,10 @@ func (m *Mesh) CloneMsg(src *Msg) *Msg {
 	c.Data = append(d[:0], src.Data...)
 	return c
 }
+
+// CloneMsg is CloneMsgAt from shard 0's pool, for serial meshes and
+// machine-level callers.
+func (m *Mesh) CloneMsg(src *Msg) *Msg { return m.CloneMsgAt(0, src) }
 
 // Coord returns the (x, y) position of a node.
 func (m *Mesh) Coord(id NodeID) (x, y int) {
@@ -550,34 +733,38 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 		panic(fmt.Sprintf("mesh: send to unattached node %d (no port registered with Attach)", dst))
 	}
 	ms.Src, ms.Dst = src, dst
+	srcShard := m.shardOf[src]
+	eng := m.engines[srcShard]
+	st := &m.shStats[srcShard]
 	hops := m.Hops(src, dst)
 	contending := m.cfg.Contention && hops > 0
 	// Bounded router buffers: refuse at injection when a link on the
 	// path has more than LinkBufFlits flits queued, and bounce the
 	// message back after Base cycles (the reverse flow-control signal).
 	if contending && m.cfg.Faults.LinkBufFlits > 0 && !m.admit(src, dst) {
-		m.stats.Nacked++
+		st.Nacked++
 		ms.Nacked = true
 		if m.obs != nil {
 			m.obs.Emit(stats.EvNetNack, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
 		}
-		m.eng.ScheduleEvent(m.cfg.Base, m, evNack, ms)
+		eng.ScheduleEvent(m.cfg.Base, m, evNack, ms)
 		return
 	}
-	m.stats.Messages++
-	m.stats.Hops += uint64(hops)
-	m.stats.Flits += uint64(sizeFlits)
+	st.Messages++
+	st.Hops += uint64(hops)
+	st.Flits += uint64(sizeFlits)
 	if m.obs != nil {
 		m.obs.Emit(stats.EvNetInject, int(src), ms.Kind, ms.Cause, uint64(dst), uint64(sizeFlits))
 	}
+	frand := m.frandFor(src)
 	// Loss is modeled at injection: a dropped message reserves no
 	// links and is recycled immediately.
-	if m.frand != nil && m.cfg.Faults.DropRate > 0 && m.frand.Float64() < m.cfg.Faults.DropRate {
-		m.stats.Dropped++
+	if frand != nil && m.cfg.Faults.DropRate > 0 && frand.Float64() < m.cfg.Faults.DropRate {
+		st.Dropped++
 		if m.obs != nil {
 			m.obs.Emit(stats.EvNetDrop, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
 		}
-		m.FreeMsg(ms)
+		m.FreeMsgAt(src, ms)
 		return
 	}
 	lat := m.Latency(src, dst)
@@ -586,43 +773,71 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 	} else if m.obs != nil && hops > 0 {
 		m.emitHops(src, dst, sizeFlits, ms.Cause)
 	}
-	if m.frand != nil {
+	if frand != nil {
 		// A duplicate arrives one cycle behind the original (it shares
 		// the original's link reservations — an approximation).
-		if r := m.cfg.Faults.DupRate; r > 0 && m.frand.Float64() < r {
-			m.stats.Duplicated++
+		if r := m.cfg.Faults.DupRate; r > 0 && frand.Float64() < r {
+			st.Duplicated++
 			if m.obs != nil {
 				m.obs.Emit(stats.EvNetDup, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
 			}
-			m.eng.ScheduleEvent(lat+1, m, evDeliver, m.CloneMsg(ms))
+			m.deliverAfter(eng, srcShard, lat+1, m.CloneMsgAt(src, ms))
 		}
-		if r := m.cfg.Faults.DelayRate; r > 0 && m.frand.Float64() < r {
-			m.stats.Delayed++
-			extra := 1 + sim.Cycles(m.frand.Int63n(int64(m.cfg.Faults.DelayMax)))
+		if r := m.cfg.Faults.DelayRate; r > 0 && frand.Float64() < r {
+			st.Delayed++
+			extra := 1 + sim.Cycles(frand.Int63n(int64(m.cfg.Faults.DelayMax)))
 			if m.obs != nil {
 				m.obs.Emit(stats.EvNetDelay, int(src), ms.Kind, ms.Cause, uint64(extra), 0)
 			}
 			lat += extra
 		}
 	}
-	m.eng.ScheduleEvent(lat, m, evDeliver, ms)
+	m.deliverAfter(eng, srcShard, lat, ms)
+}
+
+// frandFor returns the sending node's fault PRNG (nil when the lossy
+// fault model is off).
+func (m *Mesh) frandFor(src NodeID) *rand.Rand {
+	if m.frands == nil {
+		return nil
+	}
+	return m.frands[src]
+}
+
+// deliverAfter schedules a delivery lat cycles out: directly on the
+// sending shard's engine when the destination lives there, otherwise
+// into the cross-shard mailbox with the key the event would have
+// carried, for injection at the next lookahead barrier.
+func (m *Mesh) deliverAfter(eng *sim.Engine, srcShard int32, lat sim.Cycles, ms *Msg) {
+	dstShard := m.shardOf[ms.Dst]
+	if dstShard == srcShard {
+		eng.ScheduleEvent(lat, m, evDeliver, ms)
+		return
+	}
+	lane, seq := eng.DrawKey()
+	box := int(srcShard)*len(m.engines) + int(dstShard)
+	m.mail[box] = append(m.mail[box], mailEntry{at: eng.Now() + lat, lane: lane, seq: seq, ms: ms})
 }
 
 // HandleEvent implements sim.EventSink: a message scheduled by Send
 // arrives at its destination port (evDeliver) or bounces back to its
-// sender (evNack).
+// sender (evNack). The event was scheduled under the sending activity's
+// lane; from here on everything the receiving node does is its own
+// activity, so the lane switches to the receiver before the port runs.
 func (m *Mesh) HandleEvent(kind int, data any) {
 	ms := data.(*Msg)
 	if kind == evNack {
 		if m.ports[ms.Src] == nil {
 			panic(fmt.Sprintf("mesh: NACK to unattached sender %d", ms.Src))
 		}
+		m.engines[m.shardOf[ms.Src]].SetLane(int32(ms.Src))
 		m.ports[ms.Src].Deliver(ms)
 		return
 	}
 	if m.obs != nil {
 		m.obs.Emit(stats.EvNetDeliver, int(ms.Dst), ms.Kind, ms.Cause, uint64(ms.Src), 0)
 	}
+	m.engines[m.shardOf[ms.Dst]].SetLane(int32(ms.Dst))
 	m.ports[ms.Dst].Deliver(ms)
 }
 
@@ -719,7 +934,7 @@ func (m *Mesh) contend(src, dst NodeID, sizeFlits int, cause uint64) sim.Cycles 
 			y--
 		}
 	}
-	m.stats.QueueWait += wait
+	m.shStats[0].QueueWait += wait // contention is serial-only (Validate)
 	return wait
 }
 

@@ -165,6 +165,15 @@ func (p *Proc) Spawn(id int, name string, body func(*Thread)) *Thread {
 
 // dispatch gives the processor to t, charging the context-switch cost
 // in SwitchOnSync mode.
+//
+// The wake event is drawn under this processor's own lane, whatever
+// activity called here (machine setup in Spawn, a same-shard Wake from
+// another node's slice): a thread's slice inherits its lane from its
+// wake event, so this single choke point guarantees every thread runs
+// — and draws tie-break keys — as its own node's activity, never under
+// the engine-local NoLane counter, which is what keeps per-lane draw
+// sequences identical for every shard count. The caller's lane is
+// restored around the draw.
 func (p *Proc) dispatch(t *Thread) {
 	p.current = t
 	var cost sim.Cycles
@@ -175,7 +184,10 @@ func (p *Proc) dispatch(t *Thread) {
 	if o := p.st.Observer(); o != nil {
 		o.Emit(stats.EvDispatch, int(p.node), 0, 0, uint64(t.id), uint64(cost))
 	}
+	prev := p.eng.Lane()
+	p.eng.SetLane(int32(p.node))
 	t.co.WakeAfter(cost)
+	p.eng.SetLane(prev)
 }
 
 // dispatchNext runs the next ready thread, or idles the processor.
@@ -282,7 +294,7 @@ func (t *Thread) waitOp(class uint8) sim.Cycles {
 	t.state = tBlocked
 	t.proc.current = nil
 	t.proc.dispatchNext()
-	t.co.Park()
+	t.co.ParkInline()
 	t.state = tRunning
 	stalled := t.proc.eng.Now() - began
 	if o != nil {
@@ -293,13 +305,31 @@ func (t *Thread) waitOp(class uint8) sim.Cycles {
 
 // yield requeues the thread behind its processor's ready list — the
 // SwitchOnSync context switch after issuing a synchronization
-// operation.
+// operation. When the thread is its processor's only runnable thread
+// the "switch" re-dispatches it immediately, and if nothing else is
+// due within the switch cost the whole dispatch collapses to a direct
+// clock advance: same charge, same schedule, no wake event and no
+// goroutine handoff. (Skipped with an observer attached so the
+// EvDispatch record is never lost.)
 func (t *Thread) yield() {
+	p := t.proc
+	if len(p.ready) == 0 && p.st.Observer() == nil {
+		var cost sim.Cycles
+		if p.mode == SwitchOnSync {
+			cost = p.switchCost
+		}
+		if p.eng.AdvanceIf(cost) {
+			if p.mode == SwitchOnSync {
+				p.nstat().CtxSwitches++
+			}
+			return
+		}
+	}
 	t.state = tReady
-	t.proc.ready = append(t.proc.ready, t)
-	t.proc.current = nil
-	t.proc.dispatchNext()
-	t.co.Park()
+	p.ready = append(p.ready, t)
+	p.current = nil
+	p.dispatchNext()
+	t.co.ParkInline()
 	t.state = tRunning
 }
 
@@ -459,13 +489,22 @@ func (t *Thread) Sleep() {
 	t.state = tSleeping
 	t.proc.current = nil
 	t.proc.dispatchNext()
-	t.co.Park()
+	t.co.ParkInline()
 	t.state = tRunning
 }
 
 // Wake makes the target thread runnable (wake_up() of Table 3-2). It
-// may be called from any thread.
+// may be called from any thread on the same shard. A cross-shard wake
+// is a zero-latency interaction between nodes that the sharded
+// engine's conservative lookahead cannot order, so it panics loudly
+// rather than desynchronizing the run; programs built on Sleep/Wake
+// (the sync package's locks) must keep waker and sleeper on one shard.
 func (t *Thread) Wake(target *Thread) {
+	if target.proc.eng != t.proc.eng {
+		panic(fmt.Sprintf("proc: cross-shard Wake from node %d to node %d: "+
+			"Sleep/Wake synchronization requires both threads on the same shard",
+			t.proc.node, target.proc.node))
+	}
 	target.proc.WakeThread(target)
 }
 

@@ -25,7 +25,12 @@ type Coroutine struct {
 	// waking is true while a wake event for this coroutine is pending
 	// in the engine's queue. It guards against double-resume.
 	waking bool
-	label  string
+	// driving is true while the coroutine's own goroutine is running
+	// the engine's event loop in place of parking (ParkInline). Its
+	// wake event then clears the flag instead of performing a channel
+	// handoff.
+	driving bool
+	label   string
 }
 
 // NewCoroutine creates a coroutine that will execute body. The body
@@ -75,6 +80,13 @@ func (co *Coroutine) HandleEvent(int, any) {
 	// Clear before transferring control: the body may re-arm its own
 	// wake (WaitCycles) during this slice.
 	co.waking = false
+	if co.driving {
+		// The coroutine's own goroutine popped this wake from inside
+		// ParkInline's drive loop: clearing the flag IS the resume —
+		// the loop exits and the body continues, no handoff needed.
+		co.driving = false
+		return
+	}
 	co.resume <- struct{}{}
 	<-co.parked
 }
@@ -97,6 +109,40 @@ func (co *Coroutine) Park() {
 	<-co.resume
 }
 
+// ParkInline suspends the coroutine until some event calls WakeAfter,
+// like Park, but keeps the coroutine's goroutine executing the
+// engine's event loop while it waits. It is the generalization of
+// AdvanceIf's direct clock advance from "nothing else is due" to
+// "other activity is due, but none of it needs a control transfer":
+// message deliveries, coherence-manager timers and the wait's own
+// completion chain all dispatch inline on this goroutine, and the
+// coroutine's wake event simply falls out of the loop — zero channel
+// handoffs for an entire remote round trip. The drive loop hands back
+// to a real Park the moment the next event would resume a different
+// coroutine (or lies beyond the engine's horizon), so the dispatch
+// order, event timestamps and tie-break draws are identical to the
+// slow path in every case.
+func (co *Coroutine) ParkInline() {
+	e := co.eng
+	co.driving = true
+	for co.driving {
+		if len(e.pq) == 0 || e.pq[0].at > e.horizon {
+			co.driving = false
+			co.Park()
+			return
+		}
+		if next, ok := e.pq[0].sink.(*Coroutine); ok && next != co {
+			co.driving = false
+			co.Park()
+			return
+		}
+		e.Step()
+	}
+	// Our own wake dispatched from our own Step: the body resumes here
+	// with the engine clock at the wake time and curLane already set to
+	// the wake event's lane, exactly as if HandleEvent had resumed us.
+}
+
 // WaitCycles suspends the coroutine for d cycles of virtual time.
 // Must be called from the coroutine's own body. When no other event is
 // due within d cycles the wait is a direct clock advance — the
@@ -107,7 +153,7 @@ func (co *Coroutine) WaitCycles(d Cycles) {
 		return
 	}
 	co.scheduleWake(d)
-	co.Park()
+	co.ParkInline()
 }
 
 // String implements fmt.Stringer for diagnostics.

@@ -18,6 +18,17 @@
 // closure-based Schedule/ScheduleAt API remains for cold paths and
 // tests; it costs whatever the caller's closure costs, but no
 // per-event heap node.
+//
+// Ties in virtual time break on a (lane, per-lane sequence) key rather
+// than a global scheduling counter. A lane is the node whose simulated
+// activity scheduled the event (NoLane for machine-level setup), and
+// each lane draws from its own monotone counter. Because a lane's
+// activity — and therefore its draw order — depends only on that
+// node's own state and the messages it receives, the key of every
+// event is identical whether the simulation runs on one event queue or
+// on many shard queues exchanging cross-shard events at lookahead
+// barriers. That property is what makes the sharded engine (shards.go)
+// byte-identical to the serial one.
 package sim
 
 import "fmt"
@@ -35,13 +46,20 @@ type EventSink interface {
 	HandleEvent(kind int, data any)
 }
 
+// NoLane is the lane of machine-level activity: setup scheduling done
+// before the engine runs, and test closures driven outside any node's
+// simulated activity. It sorts before every node lane.
+const NoLane int32 = -1
+
 // event is one pending entry, stored by value in the heap: scheduling
-// allocates no per-event node. Events compare by (at, seq) so that
-// events scheduled earlier run earlier when times tie.
+// allocates no per-event node. Events compare by (at, lane, seq):
+// same-time events from different lanes order by lane, same-lane
+// events by their lane's draw order.
 type event struct {
 	at   Cycles
-	seq  uint64
+	lane int32
 	kind int
+	seq  uint64
 	sink EventSink
 	data any
 }
@@ -56,12 +74,26 @@ func (funcSink) HandleEvent(_ int, data any) { data.(func())() }
 // The zero value is not usable; call NewEngine.
 type Engine struct {
 	now Cycles
-	seq uint64
-	// pq is a binary min-heap of events ordered by (at, seq).
+	// curLane is the lane of the activity currently executing: set by
+	// Step from each dispatched event (and left in place afterwards, so
+	// a coroutine slice that keeps running after an inline-driven
+	// resume still schedules under its own lane). Events scheduled
+	// during an activity inherit it as their tie-break lane.
+	curLane int32
+	// laneSeq holds one monotone draw counter per lane, indexed by
+	// lane+1 (so NoLane lands on index 0). Grown on demand.
+	laneSeq []uint64
+	// pq is a binary min-heap of events ordered by (at, lane, seq).
 	pq []event
 	// processed counts executed events, for diagnostics and runaway
 	// detection in tests.
 	processed uint64
+	// lastAct is the time of the most recent simulated activity: the
+	// last dispatched event, or the clock position a successful
+	// AdvanceIf moved to. Unlike now, it is not dragged forward by
+	// RunUntil's horizon, so it reports true elapsed work in sharded
+	// rounds.
+	lastAct Cycles
 	// horizon bounds AdvanceIf while RunUntil is active: simulated
 	// activity may not move the clock past the instant the caller asked
 	// the engine to stop at.
@@ -74,11 +106,27 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{horizon: ^Cycles(0)}
+	return &Engine{horizon: ^Cycles(0), curLane: NoLane}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Cycles { return e.now }
+
+// LastActivityAt returns the time of the most recent simulated
+// activity (last dispatched event or direct clock advance). RunUntil
+// may leave Now beyond it; elapsed-time reporting wants this value.
+func (e *Engine) LastActivityAt() Cycles { return e.lastAct }
+
+// Lane returns the lane of the activity currently executing (NoLane
+// outside event dispatch).
+func (e *Engine) Lane() int32 { return e.curLane }
+
+// SetLane declares that the remainder of the current dispatch executes
+// as the given node's activity. The mesh calls it when a delivery
+// event — scheduled under the sender's lane — starts running at the
+// destination, so everything the destination schedules draws from the
+// destination's own counter.
+func (e *Engine) SetLane(lane int32) { e.curLane = lane }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -115,16 +163,61 @@ func (e *Engine) ScheduleEventAt(at Cycles, sink EventSink, kind int, data any) 
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	e.pq = append(e.pq, event{at: at, seq: e.seq, kind: kind, sink: sink, data: data})
-	e.seq++
+	lane, seq := e.DrawKey()
+	e.push(event{at: at, lane: lane, seq: seq, kind: kind, sink: sink, data: data})
+}
+
+// DrawKey draws the tie-break key the next scheduling by the current
+// activity would receive: the current lane and the next value of its
+// counter. The mesh uses it to stamp cross-shard messages at send
+// time, so an event injected into another shard's queue at a barrier
+// carries exactly the key it would have had on a single shared queue.
+func (e *Engine) DrawKey() (lane int32, seq uint64) {
+	idx := int(e.curLane) + 1
+	for idx >= len(e.laneSeq) {
+		e.laneSeq = append(e.laneSeq, 0)
+	}
+	seq = e.laneSeq[idx]
+	e.laneSeq[idx]++
+	return e.curLane, seq
+}
+
+// InjectEventAt enqueues an event carrying an explicit tie-break key
+// drawn on another engine (DrawKey at send time). The sharded runner
+// calls it at lookahead barriers to move cross-shard events into the
+// owning shard's queue; conservative lookahead guarantees at has not
+// passed.
+func (e *Engine) InjectEventAt(at Cycles, lane int32, seq uint64, sink EventSink, kind int, data any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: inject at %d before now %d", at, e.now))
+	}
+	e.push(event{at: at, lane: lane, seq: seq, kind: kind, sink: sink, data: data})
+}
+
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
 	e.siftUp(len(e.pq) - 1)
 }
 
-// less orders the heap by (at, seq); seq is unique, so the order is
-// total and any correct heap pops the same deterministic sequence.
+// NextEventAt returns the time of the earliest pending event, or
+// ok=false when the queue is empty.
+func (e *Engine) NextEventAt() (at Cycles, ok bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
+}
+
+// less orders the heap by (at, lane, seq); (lane, seq) is unique, so
+// the order is total and any correct heap pops the same deterministic
+// sequence — regardless of insertion order, which is what lets barrier
+// injection merge shard queues without a serialization step.
 func (e *Engine) less(i, j int) bool {
 	if e.pq[i].at != e.pq[j].at {
 		return e.pq[i].at < e.pq[j].at
+	}
+	if e.pq[i].lane != e.pq[j].lane {
+		return e.pq[i].lane < e.pq[j].lane
 	}
 	return e.pq[i].seq < e.pq[j].seq
 }
@@ -171,6 +264,7 @@ func (e *Engine) AdvanceIf(d Cycles) bool {
 		return false
 	}
 	e.now = t
+	e.lastAct = t
 	return true
 }
 
@@ -189,6 +283,8 @@ func (e *Engine) Step() bool {
 		e.siftDown(0)
 	}
 	e.now = ev.at
+	e.lastAct = ev.at
+	e.curLane = ev.lane
 	e.processed++
 	if e.onEvent != nil {
 		e.onEvent(ev.at, ev.kind)

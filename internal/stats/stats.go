@@ -83,6 +83,38 @@ func (m *Machine) AttachObserver(o *Observer) { m.obs = o }
 // Observer returns the attached observer, or nil when tracing is off.
 func (m *Machine) Observer() *Observer { return m.obs }
 
+// ShardView returns a Machine sharing m's per-node counter slice but
+// holding private machine-wide scalars. The sharded engine hands one
+// view to each shard's components: per-node counters are written only
+// by their owning node (node-disjoint across shards, so sharing the
+// backing slice is race-free), while the machine-wide message tallies
+// are written by every CM and therefore accumulate per shard, to be
+// folded into the master with FoldShard after the run. Views carry no
+// observer — structured tracing is serial-only.
+func (m *Machine) ShardView() *Machine { return &Machine{Nodes: m.Nodes} }
+
+// FoldShard drains a shard view's machine-wide scalar counters into m:
+// the values are added and the view's scalars reset, so folding after
+// every run keeps repeated Run/fold cycles from double-counting. Call
+// with the simulation quiescent.
+func (m *Machine) FoldShard(v *Machine) {
+	m.MsgRead += v.MsgRead
+	m.MsgReadRep += v.MsgReadRep
+	m.MsgWrite += v.MsgWrite
+	m.MsgUpdate += v.MsgUpdate
+	m.MsgAck += v.MsgAck
+	m.MsgRMW += v.MsgRMW
+	m.MsgRMWRep += v.MsgRMWRep
+	m.MsgPage += v.MsgPage
+	m.MsgTAck += v.MsgTAck
+	m.Retransmits += v.Retransmits
+	m.TransDups += v.TransDups
+	m.TransGaps += v.TransGaps
+	m.TransStalls += v.TransStalls
+	nodes := v.Nodes
+	*v = Machine{Nodes: nodes}
+}
+
 // Reliability groups the unreliable-network sublayer counters for
 // uniform experiment JSON rows (all zero when the fault model is off).
 type Reliability struct {
