@@ -11,15 +11,22 @@ import (
 
 // --- Fault sweep: protocol robustness under an unreliable network ------
 
-// FaultRow is one drop-rate sample of the fault sweep: the Figure 2-1
-// workload (replicated SSSP on 16 processors) re-run with the
-// deterministic fault injector losing a fraction of all network
-// messages, every loss repaired by the reliability sublayer.
+// FaultRow is one fault-mix sample of the fault sweep: the Figure 2-1
+// workload (replicated SSSP) re-run with the deterministic fault
+// injector losing, duplicating or delaying a fraction of all network
+// messages, every fault repaired by the reliability sublayer. The
+// sweep covers the 4x4/16-processor machine across drop rates and the
+// 8x8/64-processor machine across drop/dup/delay mixes.
 type FaultRow struct {
-	// DropPct is the message loss rate in percent.
-	DropPct float64 `json:"drop_pct"`
+	// Mesh labels the machine ("4x4" or "8x8").
+	Mesh string `json:"mesh"`
+	// DropPct, DupPct and DelayPct are the loss, duplication and delay
+	// rates in percent.
+	DropPct  float64 `json:"drop_pct"`
+	DupPct   float64 `json:"dup_pct"`
+	DelayPct float64 `json:"delay_pct"`
 	// Elapsed is the run time in cycles; Slowdown normalizes it to the
-	// fault-free run.
+	// fault-free run on the same mesh.
 	Elapsed  sim.Cycles `json:"elapsed_cycles"`
 	Slowdown float64    `json:"slowdown"`
 	// Messages counts protocol messages (transport acks included);
@@ -37,13 +44,24 @@ type FaultRow struct {
 	TransStalls uint64 `json:"trans_stalls"`
 }
 
-// faultPoints runs SSSP (16 processors, 4 copies — the replicated
-// Figure 2-1 point) across message drop rates, with the runtime
-// invariant checker verifying the protocol's coherence structures
-// throughout. Each run validates its distances against Dijkstra, so a
-// row in the output is end-to-end evidence the protocol survived that
-// loss rate. Slowdown is normalized afterwards by fillFaultSlowdown
-// against the sweep's own fault-free point.
+// faultMix is one injector configuration of the sweep: a mesh size and
+// a drop/dup/delay mix.
+type faultMix struct {
+	w, h  int
+	procs int
+	f     mesh.FaultConfig
+}
+
+// faultPoints runs SSSP across fault mixes, with the runtime invariant
+// checker verifying the protocol's coherence structures throughout:
+// the 4x4/16-processor replicated Figure 2-1 point across message drop
+// rates (overridable via Options.DropRates), then the 8x8/64-processor
+// machine under drop/dup/delay mixes, where four times the nodes and
+// longer paths give every fault class more protocol state to corrupt.
+// Each run validates its distances against Dijkstra, so a row in the
+// output is end-to-end evidence the protocol survived that mix.
+// Slowdown is normalized afterwards by fillFaultSlowdown against the
+// sweep's own fault-free point on the same mesh.
 func faultPoints(o Options) []Point[FaultRow] {
 	vertices := 1024
 	if o.Quick {
@@ -53,22 +71,41 @@ func faultPoints(o Options) []Point[FaultRow] {
 	if rates == nil {
 		rates = []float64{0, 0.001, 0.01, 0.05}
 	}
-	var pts []Point[FaultRow]
+	var mixes []faultMix
 	for _, rate := range rates {
-		rate := rate
-		name := fmt.Sprintf("fault sweep drop=%g", rate)
+		mixes = append(mixes, faultMix{4, 4, 16, mesh.FaultConfig{Seed: 7, DropRate: rate}})
+	}
+	for _, f := range []mesh.FaultConfig{
+		{},
+		{Seed: 7, DropRate: 0.01},
+		{Seed: 7, DupRate: 0.05, DelayRate: 0.10, DelayMax: 300},
+		{Seed: 7, DropRate: 0.01, DupRate: 0.02, DelayRate: 0.05, DelayMax: 300},
+	} {
+		mixes = append(mixes, faultMix{8, 8, 64, f})
+	}
+	var pts []Point[FaultRow]
+	for _, mx := range mixes {
+		mx := mx
+		meshLabel := fmt.Sprintf("%dx%d", mx.w, mx.h)
+		name := fmt.Sprintf("fault sweep %s drop=%g dup=%g delay=%g",
+			meshLabel, mx.f.DropRate, mx.f.DupRate, mx.f.DelayRate)
 		pts = append(pts, Point[FaultRow]{
 			Name: name,
-			Tags: map[string]string{"drop_rate": fmt.Sprint(rate)},
+			Tags: map[string]string{
+				"mesh":       meshLabel,
+				"drop_rate":  fmt.Sprint(mx.f.DropRate),
+				"dup_rate":   fmt.Sprint(mx.f.DupRate),
+				"delay_rate": fmt.Sprint(mx.f.DelayRate),
+			},
 			Run: func() (FaultRow, error) {
-				mcfg := core.DefaultConfig(4, 4)
-				if rate > 0 {
-					mcfg.Faults = mesh.FaultConfig{Seed: 7, DropRate: rate}
+				mcfg := core.DefaultConfig(mx.w, mx.h)
+				if mx.f.Enabled() {
+					mcfg.Faults = mx.f
 					mcfg.CheckInvariants = true
 				}
 				o.Observe.Attach(&mcfg, name)
 				res, err := sssp.Run(sssp.Config{
-					MeshW: 4, MeshH: 4, Procs: 16,
+					MeshW: mx.w, MeshH: mx.h, Procs: mx.procs,
 					Vertices: vertices, Degree: 4, Seed: 42,
 					Copies: 4, Validate: true,
 					Machine: &mcfg,
@@ -77,7 +114,10 @@ func faultPoints(o Options) []Point[FaultRow] {
 					return FaultRow{}, err
 				}
 				return FaultRow{
-					DropPct:       rate * 100,
+					Mesh:          meshLabel,
+					DropPct:       mx.f.DropRate * 100,
+					DupPct:        mx.f.DupRate * 100,
+					DelayPct:      mx.f.DelayRate * 100,
 					Elapsed:       res.Elapsed,
 					Messages:      res.Messages,
 					Dropped:       res.Net.Dropped,
@@ -93,20 +133,20 @@ func faultPoints(o Options) []Point[FaultRow] {
 	return pts
 }
 
-// fillFaultSlowdown normalizes every row to the sweep's fault-free
-// row (slowdown 1.0 when no zero-rate row was requested).
+// fillFaultSlowdown normalizes every row to the sweep's fault-free row
+// on the same mesh (slowdown 1.0 when no fault-free row was requested
+// for that mesh).
 func fillFaultSlowdown(rows []FaultRow) []FaultRow {
-	var base sim.Cycles
+	base := map[string]sim.Cycles{}
 	for _, r := range rows {
-		if r.DropPct == 0 {
-			base = r.Elapsed
-			break
+		if r.DropPct == 0 && r.DupPct == 0 && r.DelayPct == 0 {
+			base[r.Mesh] = r.Elapsed
 		}
 	}
 	for i := range rows {
 		rows[i].Slowdown = 1.0
-		if base > 0 {
-			rows[i].Slowdown = float64(rows[i].Elapsed) / float64(base)
+		if b := base[rows[i].Mesh]; b > 0 {
+			rows[i].Slowdown = float64(rows[i].Elapsed) / float64(b)
 		}
 	}
 	return rows
@@ -123,12 +163,15 @@ func FaultSweep(o Options) ([]FaultRow, error) {
 
 // FormatFaultSweep renders the sweep as a table.
 func FormatFaultSweep(rows []FaultRow) string {
-	return renderTable("Fault sweep: SSSP (16 procs, 4 copies) under message loss",
-		[]col{{"Drop%", -8}, {"Elapsed", 12}, {"Slowdown", 10}, {"Messages", 10},
-			{"Dropped", 9}, {"Retransmits", 12}, {"TAcks", 10}},
+	return renderTable("Fault sweep: SSSP (4 copies) under message loss, duplication & delay",
+		[]col{{"Mesh", -6}, {"Drop%", 7}, {"Dup%", 6}, {"Delay%", 7}, {"Elapsed", 12},
+			{"Slowdown", 10}, {"Messages", 10}, {"Dropped", 9}, {"Retransmits", 12}, {"TAcks", 10}},
 		cells(rows, func(r FaultRow) []string {
 			return []string{
+				r.Mesh,
 				fmt.Sprintf("%.2f", r.DropPct),
+				fmt.Sprintf("%.2f", r.DupPct),
+				fmt.Sprintf("%.2f", r.DelayPct),
 				fmt.Sprint(r.Elapsed),
 				fmt.Sprintf("%.2f", r.Slowdown),
 				fmt.Sprint(r.Messages),

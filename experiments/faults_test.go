@@ -6,8 +6,9 @@ import (
 )
 
 // TestFaultSweepQuick runs the unreliable-network sweep at a reduced
-// problem size and checks its structural claims: the fault-free row is
-// the 1.0 baseline, lossy rows actually lost and repaired messages, and
+// problem size and checks its structural claims: each mesh's fault-free
+// row is that mesh's 1.0 baseline, lossy rows actually lost and
+// repaired messages, the 8x8 dup/delay mixes exercised duplication, and
 // every row's SSSP distances validated against Dijkstra inside
 // FaultSweep itself.
 func TestFaultSweepQuick(t *testing.T) {
@@ -15,21 +16,34 @@ func TestFaultSweepQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
+	// The requested 4x4 drop rates plus the four fixed 8x8 mix rows.
+	if len(rows) != 6 {
 		t.Fatalf("got %d rows", len(rows))
 	}
-	if rows[0].Slowdown != 1 || rows[0].Dropped != 0 || rows[0].Retransmits != 0 {
-		t.Fatalf("fault-free baseline row polluted: %+v", rows[0])
+	for _, i := range []int{0, 2} {
+		if rows[i].Slowdown != 1 || rows[i].Dropped != 0 || rows[i].Retransmits != 0 {
+			t.Fatalf("fault-free baseline row %d polluted: %+v", i, rows[i])
+		}
 	}
-	r := rows[1]
-	if r.Dropped == 0 {
-		t.Fatalf("1%% drop rate lost no messages: %+v", r)
+	if rows[0].Mesh != "4x4" || rows[2].Mesh != "8x8" {
+		t.Fatalf("mesh labels wrong: %q %q", rows[0].Mesh, rows[2].Mesh)
 	}
-	if r.Retransmits == 0 || r.TransportAcks == 0 {
-		t.Fatalf("losses never repaired: %+v", r)
+	for _, i := range []int{1, 3, 5} {
+		r := rows[i]
+		if r.Dropped == 0 {
+			t.Fatalf("row %d: drop rate lost no messages: %+v", i, r)
+		}
+		if r.Retransmits == 0 || r.TransportAcks == 0 {
+			t.Fatalf("row %d: losses never repaired: %+v", i, r)
+		}
+		if r.Slowdown < 1 {
+			t.Fatalf("row %d: lossy run faster than its baseline: %+v", i, r)
+		}
 	}
-	if r.Slowdown < 1 {
-		t.Fatalf("lossy run faster than baseline: %+v", r)
+	// The dup/delay-only mix duplicated messages and the receiver
+	// discarded the surplus copies.
+	if dup := rows[4]; dup.Dropped != 0 || dup.TransDups == 0 {
+		t.Fatalf("dup/delay mix row unexpected: %+v", dup)
 	}
 	if _, err := json.Marshal(rows); err != nil {
 		t.Fatalf("rows do not marshal: %v", err)

@@ -71,3 +71,7 @@ func TestGoldenFigure21Contention(t *testing.T) {
 	checkGolden(t, "figure2-1-contention.quick",
 		goldenRun(t, "figure2-1-contention", Options{Quick: true, MaxProcs: 8}))
 }
+
+func TestGoldenFaultCrash(t *testing.T) {
+	checkGolden(t, "fault-crash.quick", goldenRun(t, "fault-crash", Options{Quick: true}))
+}

@@ -84,8 +84,10 @@ var registry = []Experiment{
 	ablationExperiment("ablation-batching", "Ablation: write-combining depth (MaxBatchWrites)", batchingPoints),
 	ablationExperiment("ext-swdsm", "Extension: PLUS vs software shared virtual memory (§4)", swdsmPoints),
 	placementExperiment("ext-placement", "Extension: profile-guided placement (§2.4 second mode)"),
-	newExperiment("faults", "Fault sweep: SSSP under message loss",
+	newExperiment("faults", "Fault sweep: SSSP under message loss, duplication & delay",
 		faultPoints, fillFaultSlowdown, FormatFaultSweep, nil),
+	newExperiment("fault-crash", "Fault-crash sweep: node crashes with replicated-master failover",
+		crashPoints, fillCrashSlowdown, FormatFaultCrash, nil),
 	scaleExperiment(),
 	newExperiment("ext-linkbuf", "Extension: link-buffer depth vs backpressure (8x8, contention)",
 		linkbufPoints, fillLinkbufSlowdown, FormatLinkbuf, nil),

@@ -125,7 +125,7 @@ type CM struct {
 	slotWaiters []func()
 
 	// Outstanding remote blocking reads.
-	readWaiters map[uint64]func(memory.Word)
+	readWaiters map[uint64]readWaiter
 
 	// rdFree recycles local-read completions.
 	rdFree []*readDone
@@ -137,6 +137,16 @@ type CM struct {
 	tx       []txState
 	rx       []rxState
 	rtFree   []*retransTimer
+
+	// Crash/failover state (crash.go). crashy is set only when the run
+	// has a crash script; every tolerance it arms is unreachable — and
+	// every protocol panic stays loud — on ordinary runs.
+	crashy        bool
+	down          bool
+	router        FailoverRouter
+	suspectFn     func(mesh.NodeID)
+	detectStrikes int
+	slotGen       uint64
 
 	// Write-invalidate ablation mode (see invalidate.go). Real PLUS is
 	// write-update; this exists to measure the §2.2 claim.
@@ -167,6 +177,23 @@ type dslot struct {
 	// (cause != 0 marks a traced operation).
 	issuedAt sim.Cycles
 	cause    uint64
+	// Replay record (crash script runs): enough to re-issue the
+	// operation if its request is lost inside a crashed node. gen is
+	// the slot-generation token guarding against stale replies to a
+	// reused slot (see slotToken).
+	op      uint8
+	g       GAddr
+	operand memory.Word
+	pid     uint64
+	gen     uint64
+}
+
+// readWaiter is one outstanding remote blocking read: the completion
+// callback plus the target address, kept so a crash epoch can re-issue
+// the read against the page's new master.
+type readWaiter struct {
+	g  GAddr
+	fn func(memory.Word)
 }
 
 // New wires a coherence manager to its node's memory, cache and the
@@ -187,7 +214,7 @@ func New(self mesh.NodeID, eng *sim.Engine, net *mesh.Mesh, mem *memory.Memory, 
 		nextID:       1,
 		readRetry:    make(map[GAddr][]func()),
 		slots:        make([]dslot, tm.MaxDelayedOps),
-		readWaiters:  make(map[uint64]func(memory.Word)),
+		readWaiters:  make(map[uint64]readWaiter),
 		batchMax:     tm.MaxBatchWrites,
 	}
 	if cm.batchMax < 1 {
@@ -200,6 +227,9 @@ func New(self mesh.NodeID, eng *sim.Engine, net *mesh.Mesh, mem *memory.Memory, 
 		cm.reliable = true
 		cm.tx = make([]txState, net.Nodes())
 		cm.rx = make([]rxState, net.Nodes())
+	}
+	if len(net.Config().Faults.Crashes) > 0 {
+		cm.crashy = true
 	}
 	net.Attach(self, cm)
 	return cm
@@ -352,7 +382,7 @@ func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.W
 	cm.node().RemoteReads++
 	id := cm.nextID
 	cm.nextID++
-	cm.readWaiters[id] = done
+	cm.readWaiters[id] = readWaiter{g: g, fn: done}
 	// The paper charges "about 32 cycles plus the round-trip delay"
 	// for a remote blocking read; the 32 cycles are the processor and
 	// interface overhead, charged here before the request enters the
@@ -479,7 +509,8 @@ func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
 		}
 		pid = cm.allocPending(g)
 	}
-	cm.slots[slot] = dslot{busy: true}
+	cm.slotGen++
+	cm.slots[slot] = dslot{busy: true, op: uint8(op), g: g, operand: operand, pid: pid, gen: cm.slotGen}
 	cm.node().RMWIssued++
 	// Local/remote accounting mirrors writes: a mutating RMW is local
 	// only when it completes entirely in local memory. Delayed-read
@@ -501,7 +532,7 @@ func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
 		n.RemoteWrites++
 	}
 	issued(slot)
-	m := cm.newMsg(kRMWReq, cm.self, uint64(slot))
+	m := cm.newMsg(kRMWReq, cm.self, cm.slotToken(slot))
 	m.Pid = pid
 	m.Op = uint8(op)
 	m.Page, m.Off, m.Val = g.Page, g.Off, operand
@@ -621,6 +652,13 @@ func (cm *CM) releaseSlot(slot int) {
 func (cm *CM) finishWrite(id uint64) {
 	g, ok := cm.pending[id]
 	if !ok {
+		if cm.crashy {
+			// The entry was force-retired by a crash epoch and the
+			// chain's real ack arrived later (the chain survived after
+			// all). Harmless: retirement already woke the waiters.
+			cm.st.StaleAcks++
+			return
+		}
 		panic(fmt.Sprintf("coherence: ack for unknown write %d on node %d", id, cm.self))
 	}
 	if o := cm.obs(); o != nil {
@@ -686,6 +724,10 @@ func (cm *CM) applyWrites(frame memory.PPage, ws []wordWrite) {
 func (cm *CM) arriveWrite(m *mesh.Msg) {
 	mg, ok := cm.master[m.Page]
 	if !ok {
+		if cm.crashy {
+			cm.orphanRequest(m)
+			return
+		}
 		panic(fmt.Sprintf("coherence: write to uninstalled frame %d on node %d", m.Page, cm.self))
 	}
 	if mg.Node != cm.self {
@@ -707,7 +749,15 @@ func (cm *CM) arriveWrite(m *mesh.Msg) {
 func (cm *CM) propagate(frame memory.PPage, m *mesh.Msg) {
 	nxt, ok := cm.next[frame]
 	if !ok {
-		panic(fmt.Sprintf("coherence: no next-copy entry for frame %d on node %d", frame, cm.self))
+		if cm.crashy {
+			// The frame was dropped by a failover between apply and
+			// propagate: treat this copy as the end of the chain (the
+			// kernel's resync cascade restores any downstream copies).
+			cm.st.CrashOrphans++
+			nxt = memory.NilGPage
+		} else {
+			panic(fmt.Sprintf("coherence: no next-copy entry for frame %d on node %d", frame, cm.self))
+		}
 	}
 	if !nxt.IsNil() {
 		m.Kind = kUpdate
@@ -735,6 +785,10 @@ func (cm *CM) propagate(frame memory.PPage, m *mesh.Msg) {
 func (cm *CM) arriveRMW(m *mesh.Msg) {
 	mg, ok := cm.master[m.Page]
 	if !ok {
+		if cm.crashy {
+			cm.orphanRequest(m)
+			return
+		}
 		panic(fmt.Sprintf("coherence: RMW to uninstalled frame %d on node %d", m.Page, cm.self))
 	}
 	if mg.Node != cm.self {
@@ -768,7 +822,11 @@ func (cm *CM) execRMW(m *mesh.Msg) {
 	complete := len(ws) == 0 || nxt.IsNil()
 	origin, slotID, pid, cause := m.Origin, m.ID, m.Pid, m.Cause
 	if origin == cm.self {
-		cm.fillSlot(int(slotID), result)
+		if slot, ok := cm.slotFromToken(slotID); ok {
+			cm.fillSlot(slot, result)
+		} else {
+			cm.st.StaleAcks++ // re-issued op already resolved this slot
+		}
 		if complete {
 			cm.complete(origin, pid, cause)
 		}
@@ -852,6 +910,11 @@ func (cm *CM) send(dst mesh.NodeID, m *mesh.Msg) {
 // acks and replies act immediately, their handling cost folded into
 // the originator-side constants.
 func (cm *CM) Deliver(m *mesh.Msg) {
+	if cm.down {
+		// Defensive: the mesh already drops deliveries to down nodes.
+		cm.freeMsg(m)
+		return
+	}
 	if m.Nacked {
 		// Bounced by a full link buffer before ever leaving this node.
 		cm.transportNack(m)
@@ -870,10 +933,18 @@ func (cm *CM) Deliver(m *mesh.Msg) {
 	case kReadReq, kWriteReq, kUpdate, kRMWReq:
 		cm.eng.ScheduleEvent(cm.tm.CMProcess, cm, ckProcess, m)
 	case kReadReply:
-		done, ok := cm.readWaiters[m.ID]
+		w, ok := cm.readWaiters[m.ID]
 		if !ok {
+			if cm.crashy {
+				// A reply to a read the crash epoch already re-issued
+				// and resolved (or force-completed).
+				cm.st.StaleAcks++
+				cm.freeMsg(m)
+				return
+			}
 			panic(fmt.Sprintf("coherence: read reply for unknown id %d on node %d", m.ID, cm.self))
 		}
+		done := w.fn
 		delete(cm.readWaiters, m.ID)
 		if o := cm.obs(); o != nil {
 			if rec, ok := cm.rdIssued[m.ID]; ok {
@@ -890,8 +961,16 @@ func (cm *CM) Deliver(m *mesh.Msg) {
 		cm.freeMsg(m)
 		cm.retireWrite(id)
 	case kRMWReply:
-		slot, pid, v, complete, cause := int(m.ID), m.Pid, m.Val, m.Complete, m.Cause
+		tok, pid, v, complete, cause := m.ID, m.Pid, m.Val, m.Complete, m.Cause
 		cm.freeMsg(m)
+		slot, ok := cm.slotFromToken(tok)
+		if !ok {
+			// A reply for an operation a crash epoch re-issued and
+			// resolved; its slot (possibly reused by a new op) must not
+			// be corrupted by the stale result.
+			cm.st.StaleAcks++
+			return
+		}
 		cm.fillSlot(slot, v)
 		if complete {
 			cm.complete(cm.self, pid, cause)
@@ -912,6 +991,19 @@ func (cm *CM) Deliver(m *mesh.Msg) {
 
 // HandleEvent implements sim.EventSink: the CM's typed timers.
 func (cm *CM) HandleEvent(kind int, data any) {
+	if cm.down {
+		// A crashed node's in-flight work dies with it: requests being
+		// processed, staged sends and executing RMWs are dropped.
+		// ckReadDone and ckPageDone still fire (their completions only
+		// queue a thread or signal the kernel's copy engine — the
+		// processor stays paused either way), and ckRetrans timers were
+		// cancelled by the epoch bump in Crash.
+		switch kind {
+		case ckProcess, ckSend, ckExec:
+			cm.freeMsg(data.(*mesh.Msg))
+			return
+		}
+	}
 	switch kind {
 	case ckProcess:
 		cm.process(data.(*mesh.Msg))

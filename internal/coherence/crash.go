@@ -1,0 +1,438 @@
+// Crash & failover support for the coherence manager (crash-script
+// runs only; see mesh.FaultConfig.Crashes).
+//
+// Crash semantics, per PROTOCOL.md "Crash & failover":
+//
+//   - Crash() models power loss: every in-flight message the node owns
+//     (parked retransmit clones, staged sends, requests being
+//     processed) is dropped, the transport sequence state is zeroed,
+//     and the combine buffer's words are lost.
+//   - Detection is the transport's retransmit escalation: a peer whose
+//     timer expires detectStrikes times in a row with no acknowledged
+//     progress is handed to the suspicion hook, which the core layer
+//     confirms out-of-band (a management-network probe stand-in)
+//     before the kernel runs the failover epoch.
+//   - Failover() is one live node's part of that epoch: parked
+//     requests toward the dead node are rerouted to each page's new
+//     master, truncated update chains are completed administratively,
+//     the transport pair is reset, and operations whose state died
+//     inside the crashed node are force-retired or re-issued so no
+//     originator is stranded.
+//   - Restart() models the reboot: the volatile master/next tables are
+//     gone (the kernel re-replicates the node's pages as it rejoins),
+//     pending writes are force-retired with lost-write semantics, and
+//     still-outstanding reads and delayed ops are re-issued.
+//
+// Everything here is gated on cm.crashy, set only when the run has a
+// crash script: ordinary runs never reach these paths and keep their
+// loud protocol panics.
+
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"plus/internal/memory"
+	"plus/internal/mesh"
+)
+
+// FailoverRouter resolves where traffic addressed to a crashed node's
+// lost frame should go now: the current master of the page that frame
+// held. ok is false when (owner, frame) was never lost to a crash.
+// Implemented by the kernel, which records every frame it splices out.
+type FailoverRouter interface {
+	RerouteFrame(owner mesh.NodeID, frame memory.PPage) (memory.GPage, bool)
+}
+
+// ArmCrashRecovery wires the crash-epoch collaborators: the kernel's
+// reroute table, the core layer's crash-suspicion hook, and the
+// detection threshold (consecutive zero-progress retransmit expirations
+// per peer). Called once at machine build on crash-script runs.
+func (cm *CM) ArmCrashRecovery(router FailoverRouter, suspect func(mesh.NodeID), strikes int) {
+	cm.router = router
+	cm.suspectFn = suspect
+	cm.detectStrikes = strikes
+}
+
+// Down reports whether this node is currently crashed.
+func (cm *CM) Down() bool { return cm.down }
+
+// slotToken encodes a delayed-op slot for the wire. On crash-script
+// runs the slot's generation rides in the upper bits so a reply to a
+// re-issued (or force-completed) operation cannot corrupt a reused
+// slot; otherwise the token is the bare slot index, byte-identical to
+// the pre-crash-support protocol.
+func (cm *CM) slotToken(slot int) uint64 {
+	if !cm.crashy {
+		return uint64(slot)
+	}
+	return uint64(slot) | cm.slots[slot].gen<<16
+}
+
+// slotFromToken decodes a wire token. ok is false (crash-script runs
+// only) when the slot is free or was re-issued under a new generation —
+// the reply is stale and must be dropped.
+func (cm *CM) slotFromToken(tok uint64) (int, bool) {
+	if !cm.crashy {
+		return int(tok), true
+	}
+	slot := int(tok & 0xffff)
+	if slot >= len(cm.slots) {
+		return 0, false
+	}
+	s := &cm.slots[slot]
+	return slot, s.busy && s.gen == tok>>16
+}
+
+// Crash takes the node down at the current instant. The mesh stops
+// delivering to (and accepting sends from) the node, the processor
+// layer pauses dispatch; this function kills the volatile transport
+// and combining state that an outage destroys. The master/next tables
+// survive until Restart — a node that never restarts within the run
+// simply keeps them frozen, like real battery-backed SRAM would not.
+func (cm *CM) Crash() {
+	cm.down = true
+	for i := range cm.tx {
+		tx := &cm.tx[i]
+		for _, c := range tx.queue {
+			if c.Kind == kPageCopy && c.Done != nil {
+				// Complete a mid-flight page copy administratively so
+				// the kernel's copy engine is not stranded; the data
+				// never landed, which the rejoin re-replication fixes.
+				cm.st.CrashOrphans++
+				c.Done()
+			}
+			cm.freeMsg(c)
+		}
+		tx.queue = tx.queue[:0]
+		tx.epoch++ // cancels in-flight retransmit timers
+		tx.nextSeq = 0
+		tx.rto = 0
+		tx.strikes = 0
+	}
+	for i := range cm.rx {
+		cm.rx[i].acked = 0
+	}
+	// The combine buffer's words are lost with the node; their pending
+	// entries force-retire at Restart.
+	cm.bopen = false
+	cm.bwrites = cm.bwrites[:0]
+	cm.bids = cm.bids[:0]
+	cm.bcause = 0
+}
+
+// Restart brings the node back up with its volatile CM state lost:
+// empty mapping tables (the kernel re-replicates pages as the node
+// rejoins), force-retired pending writes (lost-write semantics — the
+// write may or may not have reached the surviving copies, and the
+// restarted node can no longer wait on acks addressed to its previous
+// incarnation), and re-issued reads and delayed operations.
+func (cm *CM) Restart() {
+	cm.down = false
+	for f := range cm.master {
+		delete(cm.master, f)
+	}
+	for f := range cm.next {
+		delete(cm.next, f)
+	}
+	if n := len(cm.pending); n > 0 {
+		ids := make([]uint64, 0, n)
+		for id := range cm.pending {
+			ids = append(ids, id)
+		}
+		sortIDs(ids)
+		for _, id := range ids {
+			if _, ok := cm.pending[id]; !ok {
+				continue // batch member retired by its lead id
+			}
+			cm.st.ForcedRetires++
+			cm.retireWrite(id)
+		}
+	}
+	cm.reissueReads(func(uint64, readWaiter) bool { return true })
+	for i := range cm.slots {
+		if cm.slots[i].busy && !cm.slots[i].ready {
+			cm.reissueRMW(i)
+		}
+	}
+}
+
+// Failover runs this (live) node's part of the kernel's failover epoch
+// for dead. affected reports whether an address belongs to a page that
+// lost a copy to the crash; the kernel builds it from the copy lists
+// as they stood before the rewrite. Must be called after the kernel
+// has promoted masters and rewritten the surviving chain, so reroutes
+// resolve to the new topology.
+func (cm *CM) Failover(dead mesh.NodeID, affected func(GAddr) bool) {
+	tx := &cm.tx[dead]
+	queue := tx.queue
+	tx.queue = nil
+	tx.epoch++ // cancels the pair's retransmit timer
+	tx.nextSeq = 0
+	tx.rto = 0
+	tx.strikes = 0
+	cm.rx[dead].acked = 0
+
+	// resent tracks operations whose request was parked toward the
+	// dead node and is re-sent below: those must not also be
+	// force-retired or re-issued by the sweep that follows.
+	resentPids := make(map[uint64]bool)
+	resentSlots := make(map[uint64]bool)
+	resentReads := make(map[uint64]bool)
+	reroute := func(frame memory.PPage) (memory.GPage, bool) {
+		if cm.router == nil {
+			return memory.GPage{}, false
+		}
+		return cm.router.RerouteFrame(dead, frame)
+	}
+	for _, c := range queue {
+		switch c.Kind {
+		case kReadReq:
+			w, waiting := cm.readWaiters[c.ID]
+			g, ok := reroute(c.Page)
+			if !waiting || !ok {
+				cm.st.CrashOrphans++
+				cm.freeMsg(c)
+				continue
+			}
+			resentReads[c.ID] = true
+			cm.st.RedirectedMsgs++
+			c.Seq, c.Nacked = 0, false
+			if g.Node == cm.self {
+				delete(cm.readWaiters, c.ID)
+				cm.freeMsg(c)
+				cm.scheduleReadDone(cm.ca.Read(g.Page, w.g.Off), w.fn, cm.mem.Read(g.Page, w.g.Off))
+				continue
+			}
+			c.Page = g.Page
+			cm.send(g.Node, c)
+		case kWriteReq, kRMWReq:
+			g, ok := reroute(c.Page)
+			if !ok {
+				cm.st.CrashOrphans++
+				cm.freeMsg(c)
+				continue
+			}
+			if c.Kind == kWriteReq {
+				resentPids[c.ID] = true
+			} else {
+				resentSlots[c.ID] = true
+				if c.Pid != 0 {
+					resentPids[c.Pid] = true
+				}
+			}
+			cm.st.RedirectedMsgs++
+			c.Seq, c.Nacked = 0, false
+			c.Page = g.Page
+			if g.Node == cm.self {
+				if c.Kind == kWriteReq {
+					cm.arriveWrite(c)
+				} else {
+					cm.arriveRMW(c)
+				}
+				continue
+			}
+			cm.send(g.Node, c)
+		case kUpdate:
+			// The chain is truncated at the dead node: this copy is now
+			// effectively the end of the list for this modification (the
+			// kernel's resync cascade restores downstream copies), so
+			// acknowledge the originator.
+			cm.st.CrashOrphans++
+			if c.ID == 0 || c.Origin == dead {
+				cm.freeMsg(c)
+				continue
+			}
+			if c.Origin == cm.self {
+				id := c.ID
+				cm.freeMsg(c)
+				cm.retireWrite(id)
+				continue
+			}
+			c.Kind = kAck
+			c.Seq, c.Nacked = 0, false
+			cm.send(c.Origin, c)
+		case kPageCopy:
+			// A replication racing the target's crash: complete the copy
+			// engine administratively; the rejoin re-replicates the page.
+			cm.st.CrashOrphans++
+			if c.Done != nil {
+				c.Done()
+			}
+			cm.freeMsg(c)
+		case kAck, kReadReply, kRMWReply:
+			// Completions addressed to state that died with the node.
+			cm.st.CrashOrphans++
+			cm.freeMsg(c)
+		default:
+			panic(fmt.Sprintf("coherence: failover of unexpected parked kind %d on node %d", c.Kind, cm.self))
+		}
+	}
+
+	// Re-issue unresolved delayed ops on affected pages first, so their
+	// pending entries are marked resent before the force-retire sweep.
+	for i := range cm.slots {
+		s := &cm.slots[i]
+		if s.busy && !s.ready && affected(s.g) && !resentSlots[cm.slotToken(i)] {
+			if s.pid != 0 {
+				resentPids[s.pid] = true
+			}
+			cm.reissueRMW(i)
+		}
+	}
+	// Re-issue outstanding reads addressed to the dead node, skipping
+	// those already re-sent from the parked queue above.
+	cm.reissueReads(func(id uint64, w readWaiter) bool {
+		return w.g.Node == dead && !resentReads[id]
+	})
+	// Force-retire pending writes to affected pages whose request or
+	// update may have died inside the crashed node. A write that was in
+	// fact still propagating among live copies delivers a stale ack
+	// later, which finishWrite tolerates on crash runs.
+	if len(cm.pending) > 0 {
+		var ids []uint64
+		for id, g := range cm.pending {
+			if affected(g) && !resentPids[id] {
+				ids = append(ids, id)
+			}
+		}
+		sortIDs(ids)
+		for _, id := range ids {
+			if _, ok := cm.pending[id]; !ok {
+				continue // batch member retired by its lead id
+			}
+			cm.st.ForcedRetires++
+			cm.retireWrite(id)
+		}
+	}
+}
+
+// reissueReads re-sends every outstanding remote read selected by keep,
+// rerouting reads whose target frame was lost. Deterministic: waiters
+// are processed in id order.
+func (cm *CM) reissueReads(keep func(uint64, readWaiter) bool) {
+	if len(cm.readWaiters) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(cm.readWaiters))
+	for id, w := range cm.readWaiters {
+		if keep(id, w) {
+			ids = append(ids, id)
+		}
+	}
+	sortIDs(ids)
+	for _, id := range ids {
+		cm.reissueRead(id)
+	}
+}
+
+// reissueRead re-sends one outstanding remote read (same id, so the
+// waiter and any trace records carry over), following the reroute
+// table if the target frame was lost to a crash. A reroute that lands
+// on this node is served locally.
+func (cm *CM) reissueRead(id uint64) {
+	w := cm.readWaiters[id]
+	cm.st.ReissuedOps++
+	g := w.g
+	if cm.router != nil {
+		if ng, ok := cm.router.RerouteFrame(g.Node, g.Page); ok {
+			g = GAddr{Node: ng.Node, Page: ng.Page, Off: g.Off}
+		}
+	}
+	if g.Node == cm.self {
+		delete(cm.readWaiters, id)
+		cm.scheduleReadDone(cm.ca.Read(g.Page, g.Off), w.fn, cm.mem.Read(g.Page, g.Off))
+		return
+	}
+	m := cm.newMsg(kReadReq, cm.self, id)
+	m.Page, m.Off = g.Page, g.Off
+	cm.send(g.Node, m)
+}
+
+// reissueRMW re-sends an unresolved delayed operation from its slot's
+// replay record under the same generation token, rerouting if its
+// master's frame was lost. The operation may in fact still execute
+// from the original request — a delayed op can therefore apply twice
+// across a crash epoch, which PROTOCOL.md documents as the price of
+// liveness (the stale reply itself is rejected by the token).
+func (cm *CM) reissueRMW(slot int) {
+	s := &cm.slots[slot]
+	cm.st.ReissuedOps++
+	g := s.g
+	if cm.router != nil {
+		if ng, ok := cm.router.RerouteFrame(g.Node, g.Page); ok {
+			g = GAddr{Node: ng.Node, Page: ng.Page, Off: g.Off}
+		}
+	}
+	m := cm.newMsg(kRMWReq, cm.self, cm.slotToken(slot))
+	m.Pid = s.pid
+	m.Op = s.op
+	m.Page, m.Off, m.Val = g.Page, g.Off, s.operand
+	if g.Node == cm.self {
+		cm.arriveRMW(m)
+		return
+	}
+	cm.send(g.Node, m)
+}
+
+// orphanRequest handles a write/RMW request addressed to a frame this
+// node no longer maps (its tables were lost in a crash): reroute it to
+// the page's current master when the kernel still knows one, otherwise
+// complete it as lost so no originator is stranded.
+func (cm *CM) orphanRequest(m *mesh.Msg) {
+	cm.st.CrashOrphans++
+	if cm.router != nil {
+		if g, ok := cm.router.RerouteFrame(cm.self, m.Page); ok {
+			cm.st.RedirectedMsgs++
+			m.Page = g.Page
+			if g.Node == cm.self {
+				if m.Kind == kRMWReq {
+					cm.arriveRMW(m)
+				} else {
+					cm.arriveWrite(m)
+				}
+				return
+			}
+			cm.send(g.Node, m)
+			return
+		}
+	}
+	if m.Kind == kRMWReq {
+		// Reply with a lost result so a Verify never hangs; the slot
+		// token rejects it if the op was meanwhile re-issued elsewhere.
+		origin, tok, pid, cause := m.Origin, m.ID, m.Pid, m.Cause
+		if origin == cm.self {
+			if slot, ok := cm.slotFromToken(tok); ok {
+				cm.fillSlot(slot, 0)
+			}
+			cm.freeMsg(m)
+			cm.complete(origin, pid, cause)
+			return
+		}
+		m.Kind = kRMWReply
+		m.ID, m.Pid, m.Val, m.Complete = tok, pid, 0, true
+		cm.send(origin, m)
+		return
+	}
+	// A lost write: acknowledge the originator so its fence makes
+	// progress (the data is gone — lost-write semantics).
+	if m.ID == 0 {
+		cm.freeMsg(m)
+		return
+	}
+	if m.Origin == cm.self {
+		id := m.ID
+		cm.freeMsg(m)
+		cm.retireWrite(id)
+		return
+	}
+	m.Kind = kAck
+	cm.send(m.Origin, m)
+}
+
+// sortIDs sorts operation ids ascending — every crash-epoch sweep over
+// a map walks its keys in this order so recovery stays deterministic.
+func sortIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

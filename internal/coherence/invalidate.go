@@ -81,10 +81,10 @@ func (cm *CM) readInvalidated(g GAddr, done func(memory.Word)) {
 	cm.node().InvalidateMisses++
 	id := cm.nextID
 	cm.nextID++
-	cm.readWaiters[id] = func(v memory.Word) {
+	cm.readWaiters[id] = readWaiter{g: g, fn: func(v memory.Word) {
 		cm.repair(g.Page, g.Off, v)
 		done(v)
-	}
+	}}
 	m := cm.newMsg(kReadReq, cm.self, id)
 	m.Page, m.Off = mg.Page, g.Off
 	m.Dst = mg.Node

@@ -50,6 +50,11 @@ type txState struct {
 	// cancel a scheduled event, so each (re)arm bumps the epoch and a
 	// firing timer with a stale epoch is a no-op.
 	epoch uint64
+	// strikes counts consecutive retransmit-timer expirations without
+	// any acknowledged progress from this peer; crash-detection
+	// escalation (crash.go) fires when it reaches the configured
+	// threshold. Unused (never incremented) without a crash script.
+	strikes int
 }
 
 // rxState is the receiver half: the highest in-order sequence number
@@ -124,6 +129,7 @@ func (cm *CM) transportAck(m *mesh.Msg) {
 	tx.queue = append(tx.queue[:0], tx.queue[n:]...)
 	tx.epoch++ // cancel the outstanding timer
 	tx.rto = cm.tm.RetransTimeout
+	tx.strikes = 0 // acknowledged progress: the peer is alive
 	if len(tx.queue) > 0 {
 		cm.armRetrans(peer, tx.rto)
 	}
@@ -182,6 +188,17 @@ func (cm *CM) fireRetrans(tk *retransTimer) {
 	cm.armRetrans(tk.dst, tx.rto)
 	if o != nil {
 		o.Emit(stats.EvBackoff, int(cm.self), 0, 0, uint64(tk.dst), uint64(tx.rto))
+	}
+	// Crash-detection escalation (crash script runs only): after
+	// detectStrikes consecutive expirations with zero progress, hand
+	// the peer to the suspicion hook. Called last — a confirmed crash
+	// re-enters this CM and rewrites the very txState above.
+	if cm.suspectFn != nil {
+		tx.strikes++
+		if tx.strikes >= cm.detectStrikes {
+			tx.strikes = 0
+			cm.suspectFn(tk.dst)
+		}
 	}
 }
 

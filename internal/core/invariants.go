@@ -6,6 +6,7 @@ import (
 	"plus/internal/coherence"
 	"plus/internal/kernel"
 	"plus/internal/memory"
+	"plus/internal/mesh"
 )
 
 // InvariantChecker validates the machine's coherence structures at
@@ -25,6 +26,13 @@ type InvariantChecker struct {
 	// skipConvergence disables the replica-convergence check (invalidate
 	// mode: replicas legitimately hold stale words).
 	skipConvergence bool
+	// Down reports whether a node is currently crashed (set on
+	// crash-script runs only). A down node's CM tables are frozen
+	// pre-crash state awaiting the wipe at restart, so the structure
+	// check treats the kernel's copy-list as authoritative and skips
+	// verifying that node's own entries — the invariants must hold on
+	// the survivors right through a failover epoch.
+	Down func(mesh.NodeID) bool
 
 	// Checks counts structure checks performed; ConvergenceChecks counts
 	// how many of those found the machine quiescent and compared replica
@@ -46,6 +54,9 @@ func (ic *InvariantChecker) CheckStructure() error {
 		}
 		master := list[0]
 		for i, g := range list {
+			if ic.Down != nil && ic.Down(g.Node) {
+				continue
+			}
 			cm := ic.cms[g.Node]
 			m, ok := cm.Master(g.Page)
 			if !ok {

@@ -153,6 +153,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 			return nil, errors.New("core: the structured-event observer is serial-only; run with Shards <= 1")
 		}
 	}
+	if len(cfg.Faults.Crashes) > 0 {
+		switch {
+		case cfg.CompetitiveThreshold > 0:
+			return nil, errors.New("core: crash injection cannot be combined with competitive replication (a policy-triggered background copy racing a failover epoch is unsupported)")
+		case cfg.InvalidateMode:
+			return nil, errors.New("core: crash injection requires the write-update protocol (failover resyncs chains by page copy); disable InvalidateMode")
+		}
+	}
 	engines := make([]*sim.Engine, k)
 	for i := range engines {
 		engines[i] = sim.NewEngine()
@@ -196,8 +204,35 @@ func NewMachine(cfg Config) (*Machine, error) {
 		p.SetFenceOnSync(cfg.FenceOnSync)
 		m.procs = append(m.procs, p)
 	}
+	if len(cfg.Faults.Crashes) > 0 {
+		// Crash & recovery wiring (see PROTOCOL.md "Crash & failover"):
+		// the transport's ack-timeout escalation suspects a silent peer;
+		// the core confirms the suspicion out-of-band — standing in for a
+		// management-network probe, so a merely slow peer is never failed
+		// over — and hands the confirmed crash to the kernel's failover
+		// epoch. Crash and restart instants come from the declarative
+		// script, scheduled here at build time (the engine clock is 0).
+		suspect := func(dead mesh.NodeID) {
+			if !net.DownAt(dead, eng.Now()) {
+				return
+			}
+			m.kern.FailNode(dead)
+		}
+		strikes := cfg.Faults.DetectStrikes()
+		for _, cm := range m.cms {
+			cm.ArmCrashRecovery(m.kern, suspect, strikes)
+		}
+		for _, ev := range cfg.Faults.Crashes {
+			ev := ev
+			eng.Schedule(ev.At, func() { m.crashNode(ev.Node) })
+			eng.Schedule(ev.At+ev.Duration, func() { m.restartNode(ev.Node) })
+		}
+	}
 	if cfg.CheckInvariants {
 		m.inv = &InvariantChecker{kern: m.kern, cms: m.cms, skipConvergence: cfg.InvalidateMode}
+		if len(cfg.Faults.Crashes) > 0 {
+			m.inv.Down = func(id mesh.NodeID) bool { return net.DownAt(id, eng.Now()) }
+		}
 		if k == 1 {
 			period := cfg.InvariantPeriod
 			if period == 0 {
@@ -563,4 +598,27 @@ func (m *Machine) Utilization() float64 {
 // protocol (Table 3-2). Usable from outside simulated code in tests.
 func (m *Machine) Wake(t *proc.Thread) {
 	t.Wake(t)
+}
+
+// crashNode takes node n down at the current instant, per the crash
+// script: the mesh stops carrying its traffic (mesh.DownAt), the
+// processor halts thread dispatch at the next memory reference, the
+// CM's volatile transport and combining state is destroyed, and the
+// kernel records the instant for the recovery-time metric. Detection
+// and failover happen later, driven by peers' ack timeouts.
+func (m *Machine) crashNode(n mesh.NodeID) {
+	m.st.Crashes++
+	m.procs[n].Pause()
+	m.cms[n].Crash()
+	m.kern.MarkDown(n, m.eng.Now())
+}
+
+// restartNode brings node n back at the current instant: the kernel
+// runs the failover epoch if nobody detected the outage, wipes the
+// node's volatile CM/MMU state, rejoins its pages as ordinary copies,
+// and the processor resumes dispatching its halted threads.
+func (m *Machine) restartNode(n mesh.NodeID) {
+	m.st.Restarts++
+	m.kern.RestartNode(n)
+	m.procs[n].Resume()
 }

@@ -55,6 +55,16 @@ type Kernel struct {
 	// core's invariant checker: while a copy is in flight the new
 	// replica's contents legitimately lag its peers.
 	copiesInFlight int
+
+	// Crash/failover bookkeeping (failover.go; nil on runs without a
+	// crash script). failed holds each failed-over node's pre-crash
+	// pages until its restart rejoins them; downSince the crash instant
+	// per currently-down node; lost every frame ever spliced out by a
+	// failover, so stale traffic addressed to a dead node's copy can be
+	// rerouted to the page's current master.
+	failed    map[mesh.NodeID][]memory.VPage
+	downSince map[mesh.NodeID]sim.Cycles
+	lost      map[mesh.NodeID]map[memory.PPage]memory.VPage
 }
 
 type refKey struct {
@@ -234,7 +244,15 @@ func (k *Kernel) Replicate(vp memory.VPage, node mesh.NodeID, done func()) {
 	k.splice(vp, pos, gp)
 	pred := k.copyLists[vp][pos-1]
 	k.copiesInFlight++
+	// fired guards against the completion running twice: on crash-script
+	// runs a copy racing a crash may be completed administratively from
+	// a parked retransmit clone as well as by its delivered original.
+	fired := false
 	k.cms[pred.Node].PageCopy(pred.Page, gp, func() {
+		if fired {
+			return
+		}
+		fired = true
 		// When the new page has been fully written, the node updates
 		// its address translation tables to use the new copy.
 		k.copiesInFlight--

@@ -33,6 +33,7 @@ package mesh
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"plus/internal/memory"
 	"plus/internal/node"
@@ -102,13 +103,47 @@ type FaultConfig struct {
 	// flow-control signal). 0 means unlimited buffering. Requires
 	// Contention, which models the queues being bounded.
 	LinkBufFlits int
+	// Crashes is an explicit, deterministic crash/restart script: while
+	// a node is down ([At, At+Duration)), the mesh silently discards
+	// every message addressed to it (and anything it tries to inject),
+	// its processor halts at its next memory reference, and on restart
+	// it has lost all volatile coherence-manager and page-table state.
+	// Recovery is the kernel's failover protocol (see internal/kernel).
+	// Scripted crashes arm the reliability sublayer like the message
+	// faults above; an empty script leaves every hot path untouched.
+	Crashes []CrashEvent
+	// CrashDetectAfter is the number of consecutive retransmission
+	// timeouts to one destination after which the transport suspects
+	// the peer has crashed and escalates to the kernel's failover path.
+	// 0 means the default (3). Meaningful only with a crash script.
+	CrashDetectAfter int
+}
+
+// CrashEvent schedules one node outage: Node is down for
+// [At, At+Duration) and restarts at At+Duration. Duration must be
+// positive — a node that never restarts would strand every thread
+// blocked on state it holds (halt-forever is out of scope).
+type CrashEvent struct {
+	Node     NodeID
+	At       sim.Cycles
+	Duration sim.Cycles
+}
+
+// DetectStrikes resolves CrashDetectAfter to the threshold actually
+// used by the coherence transport.
+func (f FaultConfig) DetectStrikes() int {
+	if f.CrashDetectAfter > 0 {
+		return f.CrashDetectAfter
+	}
+	return 3
 }
 
 // Enabled reports whether any part of the fault model is active — the
 // condition under which the coherence layer arms its reliability
 // sublayer.
 func (f FaultConfig) Enabled() bool {
-	return f.DropRate > 0 || f.DupRate > 0 || f.DelayRate > 0 || f.LinkBufFlits > 0
+	return f.DropRate > 0 || f.DupRate > 0 || f.DelayRate > 0 || f.LinkBufFlits > 0 ||
+		len(f.Crashes) > 0
 }
 
 // lossy reports whether the PRNG-driven faults (drop/dup/delay) are on.
@@ -151,6 +186,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mesh: LinkBufFlits requires the contention model (bounded buffers bound the contention queues)")
 	case c.Faults.DelayRate > 0 && c.Faults.DelayMax < 1:
 		return fmt.Errorf("mesh: DelayRate %v requires DelayMax >= 1", c.Faults.DelayRate)
+	case c.Faults.CrashDetectAfter < 0:
+		return fmt.Errorf("mesh: negative CrashDetectAfter %d", c.Faults.CrashDetectAfter)
+	case c.Faults.CrashDetectAfter > 0 && len(c.Faults.Crashes) == 0:
+		return fmt.Errorf("mesh: CrashDetectAfter %d without crash events (the detection threshold only applies to a crash script; set Faults.Crashes or drop it)",
+			c.Faults.CrashDetectAfter)
+	case c.Shards > 1 && len(c.Faults.Crashes) > 0:
+		return fmt.Errorf("mesh: crash injection is serial-only (failover rewrites copy-lists and transport state across every node, which no shard owns); run with Shards <= 1")
 	}
 	for _, r := range []struct {
 		name string
@@ -158,6 +200,22 @@ func (c Config) Validate() error {
 	}{{"DropRate", c.Faults.DropRate}, {"DupRate", c.Faults.DupRate}, {"DelayRate", c.Faults.DelayRate}} {
 		if err := rate(r.name, r.v); err != nil {
 			return err
+		}
+	}
+	for i, e := range c.Faults.Crashes {
+		if int(e.Node) < 0 || int(e.Node) >= c.Width*c.Height {
+			return fmt.Errorf("mesh: crash event %d targets node %d outside the %dx%d mesh (%d nodes)",
+				i, e.Node, c.Width, c.Height, c.Width*c.Height)
+		}
+		if e.Duration < 1 {
+			return fmt.Errorf("mesh: crash event %d (node %d at %d) has Duration %d; nodes must restart (Duration >= 1) — a node that stays down forever strands every thread blocked on its pages",
+				i, e.Node, e.At, e.Duration)
+		}
+		for j, p := range c.Faults.Crashes[:i] {
+			if p.Node == e.Node && e.At < p.At+p.Duration && p.At < e.At+e.Duration {
+				return fmt.Errorf("mesh: crash events %d and %d overlap on node %d ([%d, %d) vs [%d, %d)); one outage per node at a time",
+					j, i, e.Node, p.At, p.At+p.Duration, e.At, e.At+e.Duration)
+			}
 		}
 	}
 	return nil
@@ -288,10 +346,11 @@ type Stats struct {
 	Flits     uint64     // total flits transferred (size units)
 	QueueWait sim.Cycles // total cycles spent queued behind busy links
 
-	Dropped    uint64 // messages lost to fault injection
-	Duplicated uint64 // spurious extra deliveries injected
-	Delayed    uint64 // messages given an extra random delay
-	Nacked     uint64 // messages refused by a full link buffer
+	Dropped      uint64 // messages lost to fault injection
+	Duplicated   uint64 // spurious extra deliveries injected
+	Delayed      uint64 // messages given an extra random delay
+	Nacked       uint64 // messages refused by a full link buffer
+	CrashDropped uint64 // messages discarded at (or injected by) a crashed node
 }
 
 // msgPool is one shard's message free-list. Each shard recycles
@@ -301,6 +360,11 @@ type Stats struct {
 type msgPool struct {
 	free []*Msg
 	live int
+}
+
+// downWindow is one scheduled outage: the node is down for [from, to).
+type downWindow struct {
+	from, to sim.Cycles
 }
 
 // mailEntry is one cross-shard delivery awaiting injection at the next
@@ -343,6 +407,10 @@ type Mesh struct {
 	// sequence each node sees is identical for any shard count). Nil
 	// when drop/dup/delay are all 0.
 	frands []*rand.Rand
+	// downWin holds each node's scheduled outage windows (sorted by
+	// start), built once from the crash script. Nil with no script, so
+	// the delivery path pays a single nil check.
+	downWin [][]downWindow
 	// shStats accumulates network statistics per shard (all writes
 	// happen on the sending shard); Stats() sums the blocks.
 	shStats []Stats
@@ -399,6 +467,17 @@ func newMesh(engines []*sim.Engine, cfg Config) *Mesh {
 			m.frands[id] = rand.New(rand.NewSource(cfg.Faults.Seed + int64(id)))
 		}
 	}
+	if len(cfg.Faults.Crashes) > 0 {
+		m.downWin = make([][]downWindow, n)
+		for _, e := range cfg.Faults.Crashes {
+			m.downWin[e.Node] = append(m.downWin[e.Node], downWindow{e.At, e.At + e.Duration})
+		}
+		for id := range m.downWin {
+			sort.Slice(m.downWin[id], func(a, b int) bool {
+				return m.downWin[id][a].from < m.downWin[id][b].from
+			})
+		}
+	}
 	// Assign each existing directed link a dense slot; edge nodes get
 	// exactly their real out-degree, so linkFree holds one entry per
 	// physical link: 2*((W-1)*H + W*(H-1)).
@@ -453,6 +532,7 @@ func (m *Mesh) Stats() Stats {
 		t.Duplicated += s.Duplicated
 		t.Delayed += s.Delayed
 		t.Nacked += s.Nacked
+		t.CrashDropped += s.CrashDropped
 	}
 	return t
 }
@@ -547,6 +627,26 @@ func (m *Mesh) LinkBacklog() []sim.Cycles {
 		}
 	}
 	return out
+}
+
+// DownAt reports whether the crash script has node id down at time t.
+// The schedule is static, so any component may consult it at any time;
+// the core run loop uses it to pause processors and the transport's
+// crash detector uses it as the confirmation oracle (standing in for
+// an out-of-band management-network probe) before triggering failover.
+func (m *Mesh) DownAt(id NodeID, t sim.Cycles) bool {
+	if m.downWin == nil {
+		return false
+	}
+	for _, w := range m.downWin[id] {
+		if w.from > t {
+			return false
+		}
+		if t < w.to {
+			return true
+		}
+	}
+	return false
 }
 
 // Attach registers the message port for node id.
@@ -736,6 +836,15 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 	srcShard := m.shardOf[src]
 	eng := m.engines[srcShard]
 	st := &m.shStats[srcShard]
+	// A crashed sender's injections die at its network interface. The
+	// coherence manager and processor are halted while down, so this
+	// fires only for stragglers (e.g. a retransmit timer racing the
+	// crash instant).
+	if m.downWin != nil && m.DownAt(src, eng.Now()) {
+		st.CrashDropped++
+		m.FreeMsgAt(src, ms)
+		return
+	}
 	hops := m.Hops(src, dst)
 	contending := m.cfg.Contention && hops > 0
 	// Bounded router buffers: refuse at injection when a link on the
@@ -830,8 +939,22 @@ func (m *Mesh) HandleEvent(kind int, data any) {
 		if m.ports[ms.Src] == nil {
 			panic(fmt.Sprintf("mesh: NACK to unattached sender %d", ms.Src))
 		}
+		if m.downWin != nil && m.DownAt(ms.Src, m.eng.Now()) {
+			m.shStats[m.shardOf[ms.Src]].CrashDropped++
+			m.FreeMsgAt(ms.Src, ms)
+			return
+		}
 		m.engines[m.shardOf[ms.Src]].SetLane(int32(ms.Src))
 		m.ports[ms.Src].Deliver(ms)
+		return
+	}
+	// A crashed destination discards arriving traffic on the floor: the
+	// message is recycled here and the sender's reliability sublayer
+	// (which never sees a transport ack for it) retransmits until the
+	// node returns or the crash detector escalates to failover.
+	if m.downWin != nil && m.DownAt(ms.Dst, m.eng.Now()) {
+		m.shStats[m.shardOf[ms.Dst]].CrashDropped++
+		m.FreeMsgAt(ms.Dst, ms)
 		return
 	}
 	if m.obs != nil {

@@ -62,6 +62,15 @@ type Proc struct {
 	threads []*Thread
 	ready   []*Thread
 	current *Thread
+
+	// down marks the processor crashed (fault injection): no thread is
+	// dispatched and any running thread halts at its next memory
+	// reference, parking on halted until Resume. In-progress pure
+	// computation is allowed to finish — the simulated crash takes
+	// effect at the processor's next interaction with the memory
+	// system, which is the first point the coroutine yields anyway.
+	down   bool
+	halted []*Thread
 }
 
 // New builds a processor for node.
@@ -191,8 +200,9 @@ func (p *Proc) dispatch(t *Thread) {
 }
 
 // dispatchNext runs the next ready thread, or idles the processor.
+// A crashed processor dispatches nothing until Resume.
 func (p *Proc) dispatchNext() {
-	if len(p.ready) == 0 {
+	if p.down || len(p.ready) == 0 {
 		return
 	}
 	t := p.ready[0]
@@ -202,13 +212,37 @@ func (p *Proc) dispatchNext() {
 
 // unblock makes a blocked or sleeping thread runnable. Called from
 // event context (operation completions) or another thread's slice
-// (Wake).
+// (Wake). While the processor is down the thread only queues; Resume
+// dispatches it.
 func (p *Proc) unblock(t *Thread) {
 	t.state = tReady
-	if p.current == nil {
+	if p.current == nil && !p.down {
 		p.dispatch(t)
 	} else {
 		p.ready = append(p.ready, t)
+	}
+}
+
+// Pause crashes the processor: nothing dispatches until Resume, and
+// every thread halts at its next memory reference (haltIfDown). The
+// core run loop calls this at a scripted CrashEvent's start, in event
+// context, so no thread is mid-slice.
+func (p *Proc) Pause() { p.down = true }
+
+// Down reports whether the processor is crashed.
+func (p *Proc) Down() bool { return p.down }
+
+// Resume restarts a crashed processor: threads halted mid-reference
+// and any completions queued during the outage become runnable again.
+func (p *Proc) Resume() {
+	p.down = false
+	halted := p.halted
+	p.halted = p.halted[:0]
+	for _, t := range halted {
+		p.unblock(t)
+	}
+	if p.current == nil {
+		p.dispatchNext()
 	}
 }
 
@@ -333,6 +367,23 @@ func (t *Thread) yield() {
 	t.state = tRunning
 }
 
+// haltIfDown parks the thread while its processor is crashed. Every
+// memory-system entry point calls it first, so a thread that was
+// computing when the crash hit stops at its next reference and stays
+// parked until Resume unblocks it. The loop re-checks after waking in
+// case a second scripted outage begins before the thread runs.
+func (t *Thread) haltIfDown() {
+	p := t.proc
+	for p.down {
+		p.halted = append(p.halted, t)
+		t.state = tBlocked
+		p.current = nil
+		p.dispatchNext()
+		t.co.ParkInline()
+		t.state = tRunning
+	}
+}
+
 // translate converts a virtual address to the global physical address
 // of this node's chosen copy, filling the page table lazily (§2.4) and
 // feeding the hardware remote-reference counters.
@@ -370,6 +421,7 @@ func (t *Thread) Compute(c sim.Cycles) { t.consume(c) }
 // round trip; a read of a location with a write pending from this node
 // blocks until the write completes.
 func (t *Thread) Read(va memory.VAddr) memory.Word {
+	t.haltIfDown()
 	g := t.translate(va)
 	t.opCompleted = false
 	// Fast path: with no other runnable thread to dispatch during the
@@ -402,6 +454,7 @@ func (t *Thread) Read(va memory.VAddr) memory.Word {
 // propagates to every copy in the background; the processor stalls
 // only when the pending-writes cache is full.
 func (t *Thread) Write(va memory.VAddr, v memory.Word) {
+	t.haltIfDown()
 	g := t.translate(va)
 	t.opCompleted = false
 	t.proc.cm.Write(g, v, t.opDone)
@@ -414,6 +467,7 @@ func (t *Thread) Write(va memory.VAddr, v memory.Word) {
 // write-combine buffer, which it flushes) have completed at every copy
 // — the explicit write fence of §2.3 used to order synchronization.
 func (t *Thread) Fence() {
+	t.haltIfDown()
 	if o := t.proc.st.Observer(); o != nil {
 		o.Emit(stats.EvFence, int(t.proc.node), 0, 0, uint64(t.id), 0)
 	}
@@ -427,6 +481,7 @@ func (t *Thread) Fence() {
 // master copy concurrently with subsequent instructions. In
 // SwitchOnSync mode the processor switches threads after issuing.
 func (t *Thread) Issue(op coherence.Op, va memory.VAddr, operand memory.Word) Handle {
+	t.haltIfDown()
 	if t.proc.fenceOnSync {
 		t.Fence()
 	}
@@ -450,6 +505,7 @@ func (t *Thread) Verify(h Handle) memory.Word {
 	if h.node != t.proc.node {
 		panic(fmt.Sprintf("proc: thread %q verifying a handle issued on node %d", t.name, h.node))
 	}
+	t.haltIfDown()
 	t.opCompleted = false
 	t.proc.cm.Verify(h.slot, t.readDone)
 	t.proc.nstat().VerifyStall += t.waitOp(stats.StallVerify)
@@ -466,6 +522,7 @@ func (t *Thread) TryVerify(h Handle) (memory.Word, bool) {
 	if h.node != t.proc.node {
 		panic(fmt.Sprintf("proc: thread %q polling a handle issued on node %d", t.name, h.node))
 	}
+	t.haltIfDown()
 	v, ok := t.proc.cm.TryVerify(h.slot)
 	if ok {
 		t.consume(t.proc.tm.ResultRead)

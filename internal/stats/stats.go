@@ -68,6 +68,26 @@ type Machine struct {
 	TransDups   uint64 // arrivals dropped as duplicates (seq already seen)
 	TransGaps   uint64 // arrivals dropped as out-of-order (gap after a loss)
 	TransStalls uint64 // sends bounced by a full link buffer (back-pressure)
+
+	// Crash/recovery counters (all zero unless the run has a crash
+	// script; see mesh.FaultConfig.Crashes, coherence/crash.go and
+	// kernel/failover.go).
+	Crashes         uint64 // scripted node outages begun
+	Restarts        uint64 // scripted node restarts completed
+	Failovers       uint64 // kernel failover epochs executed
+	MastersPromoted uint64 // pages whose master moved to the next surviving copy
+	PagesFailedOver uint64 // page copies lost to crashes and spliced out
+	PagesResynced   uint64 // downstream survivors re-copied by failover cascades
+	RejoinCopies    uint64 // copies re-replicated onto restarted nodes
+	RedirectedMsgs  uint64 // parked requests rerouted to a new master at failover
+	ForcedRetires   uint64 // pending writes force-retired by a crash epoch
+	ReissuedOps     uint64 // reads/RMWs re-issued after a failover or restart
+	StaleAcks       uint64 // late acks/replies for already-retired operations (tolerated)
+	CrashOrphans    uint64 // messages addressed to state lost in a crash
+	// Recovery observes, per failover, the cycles from the crash
+	// instant to the restored master (detection-triggered or, for an
+	// undetected outage, the restart-time epoch).
+	Recovery Hist
 }
 
 // New returns a stats block for n nodes.
@@ -111,6 +131,19 @@ func (m *Machine) FoldShard(v *Machine) {
 	m.TransDups += v.TransDups
 	m.TransGaps += v.TransGaps
 	m.TransStalls += v.TransStalls
+	m.Crashes += v.Crashes
+	m.Restarts += v.Restarts
+	m.Failovers += v.Failovers
+	m.MastersPromoted += v.MastersPromoted
+	m.PagesFailedOver += v.PagesFailedOver
+	m.PagesResynced += v.PagesResynced
+	m.RejoinCopies += v.RejoinCopies
+	m.RedirectedMsgs += v.RedirectedMsgs
+	m.ForcedRetires += v.ForcedRetires
+	m.ReissuedOps += v.ReissuedOps
+	m.StaleAcks += v.StaleAcks
+	m.CrashOrphans += v.CrashOrphans
+	m.Recovery.Add(&v.Recovery)
 	nodes := v.Nodes
 	*v = Machine{Nodes: nodes}
 }
@@ -133,6 +166,45 @@ func (m *Machine) Reliability() Reliability {
 		TransDups:   m.TransDups,
 		TransGaps:   m.TransGaps,
 		TransStalls: m.TransStalls,
+	}
+}
+
+// CrashBlock groups the crash/failover counters for uniform experiment
+// JSON rows (all zero unless the run had a crash script).
+type CrashBlock struct {
+	Crashes         uint64  `json:"crashes"`
+	Restarts        uint64  `json:"restarts"`
+	Failovers       uint64  `json:"failovers"`
+	MastersPromoted uint64  `json:"masters_promoted"`
+	PagesFailedOver uint64  `json:"pages_failed_over"`
+	PagesResynced   uint64  `json:"pages_resynced"`
+	RejoinCopies    uint64  `json:"rejoin_copies"`
+	RedirectedMsgs  uint64  `json:"redirected_msgs"`
+	ForcedRetires   uint64  `json:"forced_retires"`
+	ReissuedOps     uint64  `json:"reissued_ops"`
+	StaleAcks       uint64  `json:"stale_acks"`
+	CrashOrphans    uint64  `json:"crash_orphans"`
+	RecoveryMean    float64 `json:"recovery_mean"` // mean cycles crash → restored master
+	RecoveryMax     uint64  `json:"recovery_max"`  // worst-case recovery, cycles
+}
+
+// Crash returns the crash/failover counter block.
+func (m *Machine) Crash() CrashBlock {
+	return CrashBlock{
+		Crashes:         m.Crashes,
+		Restarts:        m.Restarts,
+		Failovers:       m.Failovers,
+		MastersPromoted: m.MastersPromoted,
+		PagesFailedOver: m.PagesFailedOver,
+		PagesResynced:   m.PagesResynced,
+		RejoinCopies:    m.RejoinCopies,
+		RedirectedMsgs:  m.RedirectedMsgs,
+		ForcedRetires:   m.ForcedRetires,
+		ReissuedOps:     m.ReissuedOps,
+		StaleAcks:       m.StaleAcks,
+		CrashOrphans:    m.CrashOrphans,
+		RecoveryMean:    m.Recovery.Mean(),
+		RecoveryMax:     m.Recovery.Max,
 	}
 }
 
