@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json trace-smoke scale vet fmt lint experiments experiments-quick golden examples clean
+.PHONY: all check build test race bench bench-json trace-smoke scale scale-smoke vet fmt lint experiments experiments-quick golden examples clean
 
 all: check
 
 # The default gate: everything a PR must keep green. The shard
-# equivalence tests ride in test/race, and bench-json's -exp all
-# includes the scale experiment's quick leg, which fails loudly if any
-# sharded run diverges from its serial twin.
-check: build test race lint bench-json trace-smoke
+# equivalence tests ride in test/race, bench-json's -exp all includes
+# the scale experiment's quick leg (which fails loudly if any sharded
+# run diverges from its serial twin), and scale-smoke reruns that
+# sweep full-featured: contention + tracing at 4 shards.
+check: build test race lint bench-json trace-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -30,10 +31,27 @@ bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Quick sweeps through the parallel runner with self-timing: writes
-# BENCH_<date>.json (per-experiment wall-clock, point count, workers)
-# so the worker-pool speedup stays visible and trackable over time.
+# BENCH_<date>.json (per-experiment wall-clock, point count, workers,
+# shard count) so the worker-pool speedup stays visible and trackable
+# over time. Runs at 4 shard engines with tracing on, so the sweeps
+# that honor -shards (the SSSP figures and the scale experiment's
+# quick leg) exercise the full-featured sharded machine — contention,
+# observers, shard engines together — on every check.
 bench-json:
-	$(GO) run ./cmd/plusbench -quick -exp all -timing BENCH_$$(date +%Y-%m-%d).json >/dev/null
+	$(GO) run ./cmd/plusbench -quick -exp all -shards 4 \
+		-trace /tmp/plus-bench-trace.json \
+		-timing BENCH_$$(date +%Y-%m-%d).json >/dev/null
+	@rm -f /tmp/plus-bench-trace.json
+
+# Full-featured sharded scale smoke: the figure2-1-scale quick sweep
+# with link contention and per-point tracing enabled at 4 shards. The
+# sweep's equivalence check exits nonzero if the sharded row's cycles,
+# messages or relaxations diverge from the serial row's, pinning the
+# contention + observer gate lifts end to end.
+scale-smoke:
+	$(GO) run ./cmd/plusbench -quick -exp figure2-1-scale -shards 4 \
+		-trace /tmp/plus-scale-smoke.json >/dev/null
+	@rm -f /tmp/plus-scale-smoke.json
 
 # Full sharded-engine scale sweep: Figure 2-1's workload at 8x8,
 # 16x16 and 32x32 over shard counts 1..16, points run sequentially so

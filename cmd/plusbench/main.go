@@ -106,6 +106,7 @@ func main() {
 		Date:       time.Now().Format("2006-01-02"),
 		Quick:      *quick,
 		Workers:    opts.WorkerCount(),
+		Shards:     opts.EffectiveShards(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}

@@ -14,6 +14,12 @@ type Result struct {
 	Name   string `json:"experiment"`
 	Title  string `json:"title"`
 	Points int    `json:"points"`
+	// Shards is the effective shard count the sweep's points ran with
+	// (1 = serial engines), so archived JSON rows record which engine
+	// mode produced them. Points whose mesh the count does not tile
+	// fall back to serial individually; the scale experiment sweeps
+	// shard counts per-row (see ScaleRow.Shards).
+	Shards int    `json:"shards"`
 	Rows   any    `json:"rows"`
 	Table  string `json:"-"`
 	Chart  string `json:"-"`
@@ -49,7 +55,8 @@ func newExperiment[T any](name, title string,
 			if post != nil {
 				rows = post(rows)
 			}
-			res := &Result{Name: name, Title: title, Points: len(pts), Rows: rows, Table: format(rows)}
+			res := &Result{Name: name, Title: title, Points: len(pts),
+				Shards: o.EffectiveShards(), Rows: rows, Table: format(rows)}
 			if chart != nil {
 				res.Chart = chart(rows)
 			}
@@ -112,7 +119,8 @@ func placementExperiment(name, title string) Experiment {
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
-			return &Result{Name: name, Title: title, Points: 1, Rows: rows,
+			return &Result{Name: name, Title: title, Points: 1,
+				Shards: o.EffectiveShards(), Rows: rows,
 				Table: FormatAblation(title, rows)}, nil
 		},
 	}
@@ -187,9 +195,12 @@ type Timing struct {
 // wall-clock, point counts and pool size, so the ~#cores speedup of
 // the parallel runner stays visible and trackable over time.
 type Report struct {
-	Date        string   `json:"date"`
-	Quick       bool     `json:"quick"`
+	Date  string `json:"date"`
+	Quick bool   `json:"quick"`
+	// Workers is the sweep-point pool size; Shards the per-machine
+	// engine count the run was invoked with (1 = serial points).
 	Workers     int      `json:"workers"`
+	Shards      int      `json:"shards"`
 	GoMaxProcs  int      `json:"gomaxprocs"`
 	NumCPU      int      `json:"num_cpu"`
 	Experiments []Timing `json:"experiments"`

@@ -22,12 +22,14 @@ type Options struct {
 	// only; nil = its default 0, 0.001, 0.01, 0.05).
 	DropRates []float64
 	// Shards runs each point's machine on that many shard engines where
-	// the workload supports it (SSSP sweeps without contention or
-	// observers, and the scale experiment, which then sweeps {1, Shards}
-	// instead of its default shard list). Results are byte-identical to
-	// serial runs; the knob trades wall-clock time inside one point,
-	// orthogonally to Workers, which runs independent points
-	// concurrently. 0 or 1 = serial points.
+	// the workload supports it: the SSSP sweeps — contention-on and
+	// observed points included, both shard-aware since the serial-only
+	// gates were lifted — and the scale experiment, which then sweeps
+	// {1, Shards} instead of its default shard list. Results are
+	// byte-identical to serial runs; the knob trades wall-clock time
+	// inside one point, orthogonally to Workers, which runs independent
+	// points concurrently. 0 or 1 = serial points; points whose mesh the
+	// count does not tile fall back to serial individually.
 	Shards int
 	// Observe, when non-nil, instruments every sweep point with a
 	// structured-event observer (one per point; see observe.go). Nil
@@ -41,6 +43,15 @@ func (o Options) WorkerCount() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// EffectiveShards resolves Shards to the per-point engine count
+// recorded in every Result (1 = serial).
+func (o Options) EffectiveShards() int {
+	if o.Shards > 1 {
+		return o.Shards
+	}
+	return 1
 }
 
 // Point is one independent simulation of a sweep: a name for error

@@ -66,18 +66,27 @@ func scalePoints(o Options) []Point[ScaleRow] {
 			if k > procs || procs%k != 0 {
 				continue
 			}
+			name := fmt.Sprintf("scale %dx%d shards=%d", mesh.w, mesh.h, k)
 			pts = append(pts, Point[ScaleRow]{
-				Name: fmt.Sprintf("scale %dx%d shards=%d", mesh.w, mesh.h, k),
+				Name: name,
 				Tags: map[string]string{"mesh": fmt.Sprintf("%dx%d", mesh.w, mesh.h), "shards": fmt.Sprint(k)},
 				Run: func() (ScaleRow, error) {
 					mc := core.DefaultConfig(mesh.w, mesh.h)
 					mc.Shards = k
+					// An instrumented sweep runs the full-featured
+					// machine — link contention on, a per-point observer
+					// attached — so the serial-vs-sharded equivalence
+					// check below also pins the contention and observer
+					// gate lifts at SSSP scale (make check runs this
+					// quick at -shards 4 with tracing).
+					o.Observe.Attach(&mc, name)
 					start := time.Now()
 					res, err := sssp.Run(sssp.Config{
 						MeshW: mesh.w, MeshH: mesh.h, Procs: procs,
 						Vertices: mesh.vertices, Degree: 4, Seed: 42,
 						Copies: 4, Validate: true,
-						Machine: &mc,
+						Contention: o.Observe != nil,
+						Machine:    &mc,
 					})
 					if err != nil {
 						return ScaleRow{}, err
@@ -146,7 +155,8 @@ func scaleExperiment() Experiment {
 			if err != nil {
 				return nil, err
 			}
-			return &Result{Name: name, Title: title, Points: len(pts), Rows: rows,
+			return &Result{Name: name, Title: title, Points: len(pts),
+				Shards: o.EffectiveShards(), Rows: rows,
 				Table: FormatScale(rows)}, nil
 		},
 	}

@@ -47,7 +47,7 @@ func (cm *CM) batchWrite(g GAddr, v memory.Word) {
 			// One causal ID spans the whole batch: every member's issue
 			// and ack events, and the combined message across its hops,
 			// share it.
-			cm.bcause = o.NextCause()
+			cm.bcause = o.CauseFor(int(cm.self))
 		}
 	} else {
 		cm.node().CoalescedWrites++

@@ -391,7 +391,7 @@ func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.W
 	m.Page, m.Off = g.Page, g.Off
 	m.Dst = g.Node
 	if o := cm.obs(); o != nil {
-		m.Cause = o.NextCause()
+		m.Cause = o.CauseFor(int(cm.self))
 		if cm.rdIssued == nil {
 			cm.rdIssued = make(map[uint64]issueRec)
 		}
@@ -443,7 +443,7 @@ func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
 	m.Page = g.Page
 	m.Writes = append(m.Writes[:0], wordWrite{Off: g.Off, Val: v})
 	if o := cm.obs(); o != nil {
-		m.Cause = o.NextCause()
+		m.Cause = o.CauseFor(int(cm.self))
 		if cm.wrIssued == nil {
 			cm.wrIssued = make(map[uint64]issueRec)
 		}
@@ -537,7 +537,7 @@ func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
 	m.Op = uint8(op)
 	m.Page, m.Off, m.Val = g.Page, g.Off, operand
 	if o := cm.obs(); o != nil {
-		m.Cause = o.NextCause()
+		m.Cause = o.CauseFor(int(cm.self))
 		s := &cm.slots[slot]
 		s.issuedAt, s.cause = cm.eng.Now(), m.Cause
 		o.Emit(stats.EvRMWIssue, int(cm.self), uint8(op), m.Cause, packAddr(g), uint64(operand))
@@ -600,7 +600,7 @@ func (cm *CM) PageCopy(src memory.PPage, dst memory.GPage, done func()) {
 	m.Data = append(m.Data[:0], cm.mem.Page(src)...)
 	m.Done = done
 	if o := cm.obs(); o != nil {
-		m.Cause = o.NextCause()
+		m.Cause = o.CauseFor(int(cm.self))
 		o.Emit(stats.EvPageCopy, int(cm.self), 0, m.Cause, uint64(dst.Node), uint64(dst.Page))
 	}
 	cm.send(dst.Node, m)

@@ -61,10 +61,16 @@ type Config struct {
 	// goroutine under conservative lookahead (see internal/sim.ShardSet
 	// and mesh.Config.Shards). 0 or 1 runs serially. Sharded runs are
 	// deterministic and byte-identical to serial ones — same elapsed
-	// cycles, counters and memory images — but several serial-only
-	// features are unavailable: link contention, structured observers,
-	// competitive replication, runtime page reorganization, and
-	// cross-shard thread Wake.
+	// cycles, counters, memory images, and (with an observer attached)
+	// the same merged event stream: link contention replays at lookahead
+	// barriers, observers buffer shard-locally and merge in dispatch-tag
+	// order, and kernel-triggered copy-list splices (competitive
+	// replication, runtime Replicate/DeleteCopy/Migrate) execute as
+	// barrier work. Two features remain serial-only: crash injection and
+	// bounded link buffers (mesh.Config.Validate rejects both). A
+	// cross-shard thread Wake is carried by the cross-shard mail path
+	// and lands one lookahead window later — deterministic for a fixed
+	// shard count, but not byte-identical to serial timing.
 	Shards int
 	// CheckInvariants runs the coherence invariant checker periodically
 	// during Run and once at the end: single master per page, intact
@@ -124,6 +130,14 @@ type Machine struct {
 	// Config.CheckInvariants); invErr records the first violation.
 	inv    *InvariantChecker
 	invErr error
+
+	// obs is the attached observer (nil when unobserved); obsKids holds
+	// its per-shard children (nil when serial); sample is the
+	// time-series sampler, driven per-dispatch serially and
+	// barrier-aligned when sharded.
+	obs     *stats.Observer
+	obsKids []*stats.Observer
+	sample  func(at sim.Cycles)
 }
 
 // NewMachine builds and wires a machine.
@@ -145,14 +159,6 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	k := mcfg.ShardCount()
-	if k > 1 {
-		switch {
-		case cfg.CompetitiveThreshold > 0:
-			return nil, errors.New("core: competitive replication is serial-only (background copy-list splices cross shards); run with Shards <= 1")
-		case cfg.Observe != nil:
-			return nil, errors.New("core: the structured-event observer is serial-only; run with Shards <= 1")
-		}
-	}
 	if len(cfg.Faults.Crashes) > 0 {
 		switch {
 		case cfg.CompetitiveThreshold > 0:
@@ -164,6 +170,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	engines := make([]*sim.Engine, k)
 	for i := range engines {
 		engines[i] = sim.NewEngine()
+		if mcfg.Contention {
+			// Deferred contention replays mid-round sends at barriers in
+			// dispatch-tag order; tags are only meaningful under strict
+			// waiting. Serial runs wait strictly too so their schedules
+			// stay byte-identical to sharded ones (AdvanceIf is
+			// schedule-neutral — see sim.Engine.SetStrictWait).
+			engines[i].SetStrictWait(true)
+		}
 	}
 	eng := engines[0]
 	var net *mesh.Mesh
@@ -202,6 +216,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		p := proc.New(mesh.NodeID(i), net.EngineFor(mesh.NodeID(i)), m.cms[i], m.kern,
 			m.tables[i], cfg.Timing, cmSt(i), cfg.Mode, cfg.SwitchCost)
 		p.SetFenceOnSync(cfg.FenceOnSync)
+		p.SetNet(net)
 		m.procs = append(m.procs, p)
 	}
 	if len(cfg.Faults.Crashes) > 0 {
@@ -273,6 +288,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 // piggybacks on the dispatch hook rather than arming its own tick),
 // so an observed run computes exactly the same result, elapsed time
 // included, as an unobserved one.
+//
+// On a sharded machine each shard gets a child observer reading its
+// own engine's clock and dispatch tags (stats.ShardChild); the shard's
+// components emit into the child and runSharded merges the buffers
+// into the master ring in tag order at every barrier, reconstructing
+// the exact serial emission order. The sampler runs barrier-aligned
+// instead of per-dispatch. Every engine — including a serial one —
+// switches to strict waiting so dispatch tags stay meaningful and the
+// two modes keep identical schedules.
 func (m *Machine) attachObserver(o *stats.Observer) {
 	o.Bind(m.eng.Now, stats.TraceMeta{
 		Nodes:      m.net.Nodes(),
@@ -280,22 +304,44 @@ func (m *Machine) attachObserver(o *stats.Observer) {
 		MeshHeight: m.cfg.MeshHeight,
 		Links:      m.net.LinkLabels(),
 	})
+	m.obs = o
 	m.st.AttachObserver(o)
-	m.net.SetObserver(o)
-	probe := o.EngineEvents()
-	var sample func(at sim.Cycles)
-	if period := o.SampleInterval(); period > 0 {
-		sample = m.samplerFunc(o, period)
+	for _, e := range m.engines {
+		e.SetStrictWait(true)
 	}
-	if probe || sample != nil {
-		m.eng.SetOnEvent(func(at sim.Cycles, kind int) {
-			if sample != nil {
-				sample(at)
-			}
-			if probe {
-				o.EmitAt(at, stats.EvEngineDispatch, -1, uint8(kind), 0, 0, 0)
-			}
-		})
+	if period := o.SampleInterval(); period > 0 {
+		m.sample = m.samplerFunc(o, period)
+	}
+	probe := o.EngineEvents()
+	if len(m.engines) == 1 {
+		m.net.SetObserver(o)
+		if probe || m.sample != nil {
+			sample := m.sample
+			m.eng.SetOnEvent(func(at sim.Cycles, kind int) {
+				if sample != nil {
+					sample(at)
+				}
+				if probe {
+					o.EmitAt(at, stats.EvEngineDispatch, -1, uint8(kind), 0, 0, 0)
+				}
+			})
+		}
+		return
+	}
+	kids := make([]*stats.Observer, len(m.engines))
+	for s, e := range m.engines {
+		kids[s] = o.ShardChild(e.Now, e.DispatchTag)
+		m.shardViews[s].AttachObserver(kids[s])
+	}
+	m.obsKids = kids
+	m.net.SetShardObservers(kids)
+	if probe {
+		for s, e := range m.engines {
+			kid := kids[s]
+			e.SetOnEvent(func(at sim.Cycles, kind int) {
+				kid.EmitAt(at, stats.EvEngineDispatch, -1, uint8(kind), 0, 0, 0)
+			})
+		}
 	}
 }
 
@@ -309,7 +355,10 @@ func (m *Machine) attachObserver(o *stats.Observer) {
 // schedule (and the run's elapsed time) is identical with or without
 // sampling; the cost is that Sample.At lands on a dispatch time, not
 // the exact boundary, and idle gaps longer than one period yield a
-// single sample covering the whole gap.
+// single sample covering the whole gap. A sharded run drives the same
+// closure from the lookahead barriers instead (all shards quiescent),
+// so Sample.At lands on round boundaries — coarser, but reading the
+// same counters.
 func (m *Machine) samplerFunc(o *stats.Observer, period sim.Cycles) func(at sim.Cycles) {
 	n := m.net.Nodes()
 	prevLink := make([]sim.Cycles, len(m.net.LinkLabels()))
@@ -536,10 +585,36 @@ func (m *Machine) runSharded() {
 			started = t
 		}
 	}
+	// While rounds are in flight, kernel page operations queue as
+	// barrier work and shard observers buffer locally; both drain at
+	// every barrier below, and the brackets restore inline execution
+	// and direct emission for quiescent code after the run.
+	m.kern.BeginRounds()
+	defer m.kern.EndRounds()
+	if m.obs != nil {
+		m.obs.SetShardBuffering(true)
+		defer m.obs.SetShardBuffering(false)
+	}
 	ss := &sim.ShardSet{
 		Engines: m.engines,
 		Window:  m.net.Config().LookaheadWindow(),
 		Drain:   func() int { return m.net.DrainMail() },
+		// Barrier work runs with every shard quiescent, before the mail
+		// drain so anything it sends lands this barrier: replay the
+		// round's contended sends against the shared link queues, splice
+		// the copy-lists for deferred kernel page operations, then merge
+		// the shards' buffered observations into the master ring in
+		// dispatch-tag order and take a barrier-aligned sample.
+		BarrierWork: func() {
+			m.net.ResolveContention()
+			m.kern.RunBarrierWork()
+			if m.obs != nil {
+				m.obs.MergeShardEvents()
+				if m.sample != nil {
+					m.sample(m.lastActivity())
+				}
+			}
+		},
 	}
 	if m.inv != nil {
 		period := m.cfg.InvariantPeriod
@@ -569,6 +644,12 @@ func (m *Machine) runSharded() {
 	m.elapsed = m.lastActivity() - started
 	for _, v := range m.shardViews {
 		m.st.FoldShard(v)
+	}
+	if m.obs != nil {
+		// The final barrier already merged every buffered event; fold the
+		// children's latency histograms so the master's Metrics read as a
+		// serial run's would.
+		m.obs.FoldShardMetrics()
 	}
 }
 

@@ -28,6 +28,12 @@ type digest struct {
 	Updates  uint64
 	Relia    stats.Reliability
 	Net      mesh.Stats
+	// Observer exports (observer legs only): the full merged event
+	// stream, the total pushed count (ring eviction included), and the
+	// folded latency histograms.
+	Events     []string
+	EventCount uint64
+	Metrics    stats.Metrics
 }
 
 const (
@@ -40,13 +46,18 @@ const (
 // runRandom executes a seeded random program — every node runs one
 // thread issuing a mixed stream of reads, writes, delayed RMWs,
 // fences and compute against a shared page set, some pages replicated
-// — on the given shard count, and returns its digest.
-func runRandom(t *testing.T, shards int, seed int64, faults mesh.FaultConfig, batchWrites int) digest {
+// — on the given shard count, and returns its digest. Optional mods
+// mutate the machine config before construction (contention, an
+// observer, ...).
+func runRandom(t *testing.T, shards int, seed int64, faults mesh.FaultConfig, batchWrites int, mods ...func(*core.Config)) digest {
 	t.Helper()
 	cfg := core.DefaultConfig(fuzzMeshW, fuzzMeshH)
 	cfg.Shards = shards
 	cfg.Faults = faults
 	cfg.Timing.MaxBatchWrites = batchWrites
+	for _, mod := range mods {
+		mod(&cfg)
+	}
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		t.Fatalf("NewMachine(shards=%d): %v", shards, err)
@@ -117,6 +128,13 @@ func runRandom(t *testing.T, shards int, seed int64, faults mesh.FaultConfig, ba
 		}
 		d.Image[pg] = img
 	}
+	if o := cfg.Observe; o != nil {
+		for _, ev := range o.Events() {
+			d.Events = append(d.Events, ev.String())
+		}
+		d.EventCount = o.EventCount()
+		d.Metrics = o.Metrics
+	}
 	return d
 }
 
@@ -147,6 +165,17 @@ func diffDigest(t *testing.T, want, got digest, label string) {
 			}
 		}
 	}
+	if len(want.Events) != len(got.Events) {
+		t.Errorf("%s: %d observer events, serial %d (pushed %d vs %d)",
+			label, len(got.Events), len(want.Events), got.EventCount, want.EventCount)
+	} else {
+		for i := range want.Events {
+			if want.Events[i] != got.Events[i] {
+				t.Errorf("%s: event[%d] = %q, serial %q", label, i, got.Events[i], want.Events[i])
+				break
+			}
+		}
+	}
 	if !reflect.DeepEqual(want, got) {
 		t.Errorf("%s: digest differs from serial run (counters: got %+v msgs=%d, want %+v msgs=%d; net got %+v want %+v; reliability got %+v want %+v)",
 			label, got.Totals, got.Messages, want.Totals, want.Messages, got.Net, want.Net, got.Relia, want.Relia)
@@ -156,21 +185,33 @@ func diffDigest(t *testing.T, want, got digest, label string) {
 // TestShardEquivalenceFuzz runs seeded random programs serially and on
 // 2, 4 and 8 shards and requires byte-identical digests: same elapsed
 // cycles, same per-thread values and timestamps, same memory images,
-// same counters. Three legs stress the paths most likely to diverge:
-// the plain protocol, the unreliable network (per-source-node fault
-// PRNGs, retransmission timers), and write combining (multi-word
-// batches interacting with the lookahead window).
+// same counters — and for observed legs, the same merged event stream
+// and latency histograms. Six legs stress the paths most likely to
+// diverge: the plain protocol, the unreliable network (per-source-node
+// fault PRNGs, retransmission timers), write combining (multi-word
+// batches interacting with the lookahead window), link contention
+// (mid-round sends replayed at barriers in dispatch-tag order), a
+// structured observer (shard-local buffers merged by tag), and
+// contention and observation together.
 func TestShardEquivalenceFuzz(t *testing.T) {
+	contention := func(c *core.Config) { c.NetContention = true }
+	observe := func(c *core.Config) {
+		c.Observe = stats.NewObserver(stats.ObserveConfig{Events: 1 << 15, EngineEvents: true})
+	}
 	legs := []struct {
 		name   string
 		faults mesh.FaultConfig
 		batch  int
+		mods   []func(*core.Config)
 	}{
 		{name: "base", batch: 1},
 		{name: "faults", batch: 1, faults: mesh.FaultConfig{
 			Seed: 11, DropRate: 0.02, DupRate: 0.02, DelayRate: 0.03, DelayMax: 40,
 		}},
 		{name: "combining", batch: 4},
+		{name: "contention", batch: 1, mods: []func(*core.Config){contention}},
+		{name: "observer", batch: 1, mods: []func(*core.Config){observe}},
+		{name: "contention+observer", batch: 1, mods: []func(*core.Config){contention, observe}},
 	}
 	seeds := []int64{1, 42}
 	if testing.Short() {
@@ -180,12 +221,110 @@ func TestShardEquivalenceFuzz(t *testing.T) {
 		leg := leg
 		t.Run(leg.name, func(t *testing.T) {
 			for _, seed := range seeds {
-				serial := runRandom(t, 1, seed, leg.faults, leg.batch)
+				serial := runRandom(t, 1, seed, leg.faults, leg.batch, leg.mods...)
 				for _, k := range []int{2, 4, 8} {
-					got := runRandom(t, k, seed, leg.faults, leg.batch)
-					diffDigest(t, serial, got, fmt.Sprintf("seed=%d shards=%d", seed, k))
+					got := runRandom(t, k, seed, leg.faults, leg.batch, leg.mods...)
+					diffDigest(t, serial, got, fmt.Sprintf("%s seed=%d shards=%d", leg.name, seed, k))
 				}
 			}
 		})
+	}
+}
+
+// kernelOpsDigest captures what a mid-run kernel page operation must
+// preserve across shard counts: the final copy-list of every page
+// (master first, in list order) and the final memory image. Timing is
+// deliberately absent — a sharded run splices copy-lists at the next
+// lookahead barrier rather than at the triggering instant, so elapsed
+// cycles may differ; the protocol-level outcome may not.
+type kernelOpsDigest struct {
+	Copies [][]mesh.NodeID
+	Image  [][]memory.Word
+}
+
+// runKernelOps executes a program whose threads issue runtime
+// Replicate calls mid-run — from their own nodes, while
+// traffic to the affected pages is in flight — and returns the
+// copy-list and memory digest.
+func runKernelOps(t *testing.T, shards int) kernelOpsDigest {
+	t.Helper()
+	cfg := core.DefaultConfig(fuzzMeshW, fuzzMeshH)
+	cfg.Shards = shards
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("NewMachine(shards=%d): %v", shards, err)
+	}
+	n := m.Nodes()
+	bases := make([]memory.VAddr, fuzzPages)
+	for pg := 0; pg < fuzzPages; pg++ {
+		bases[pg] = m.Alloc(mesh.NodeID((pg*3)%n), 1)
+		for off := 0; off < memory.PageWords; off++ {
+			m.Poke(bases[pg]+memory.VAddr(off), memory.Word(uint32(pg*memory.PageWords+off)))
+		}
+	}
+	for node := 0; node < n; node++ {
+		node := node
+		m.SpawnNamed(mesh.NodeID(node), fmt.Sprintf("kop%d", node), func(th *proc.Thread) {
+			rng := rand.New(rand.NewSource(900 + int64(node)))
+			for op := 0; op < 120; op++ {
+				pg := rng.Intn(fuzzPages)
+				va := bases[pg] + memory.VAddr(rng.Intn(memory.PageWords))
+				switch op % 6 {
+				case 0, 1:
+					th.Read(va)
+				case 2:
+					th.Write(va, memory.Word(rng.Uint32()))
+				case 3:
+					th.Fence()
+				case 4:
+					th.Compute(sim.Cycles(1 + rng.Intn(40)))
+				case 5:
+					// Every node pulls a copy of a page it touches onto
+					// itself mid-run, with its own and other nodes' traffic
+					// to the page still in flight; serially the splice is
+					// immediate, sharded it lands at the next barrier.
+					m.Kernel().Replicate(va.Page(), mesh.NodeID(node), nil)
+				}
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run(shards=%d): %v", shards, err)
+	}
+	d := kernelOpsDigest{
+		Copies: make([][]mesh.NodeID, fuzzPages),
+		Image:  make([][]memory.Word, fuzzPages),
+	}
+	for pg := 0; pg < fuzzPages; pg++ {
+		d.Copies[pg] = m.Kernel().CopyNodes(bases[pg].Page())
+		img := make([]memory.Word, memory.PageWords)
+		for off := range img {
+			img[off] = m.Peek(bases[pg] + memory.VAddr(off))
+		}
+		d.Image[pg] = img
+	}
+	return d
+}
+
+// TestShardKernelOpsAtBarriers pins the kernel gate lift: runtime
+// Replicate issued mid-run lands as barrier work on a
+// sharded machine and produce exactly the serial run's copy-lists
+// (same nodes, same path-length order) and a coherent, identical
+// memory image for every shard count.
+func TestShardKernelOpsAtBarriers(t *testing.T) {
+	serial := runKernelOps(t, 1)
+	for pg, list := range serial.Copies {
+		if len(list) < 2 {
+			t.Fatalf("page %d never replicated (copy-list %v) — the test lost its point", pg, list)
+		}
+	}
+	for _, k := range []int{2, 4, 8} {
+		got := runKernelOps(t, k)
+		if !reflect.DeepEqual(serial.Copies, got.Copies) {
+			t.Errorf("shards=%d: copy-lists diverged from serial:\n got %v\nwant %v", k, got.Copies, serial.Copies)
+		}
+		if !reflect.DeepEqual(serial.Image, got.Image) {
+			t.Errorf("shards=%d: final memory image diverged from serial", k)
+		}
 	}
 }

@@ -180,14 +180,14 @@ func (k *Kernel) resyncChain(vp memory.VPage, start int) {
 		}
 		pred, succ := list[pos-1], list[pos]
 		k.st.PagesResynced++
-		k.copiesInFlight++
+		k.copiesInFlight.Add(1)
 		fired := false
 		k.cms[pred.Node].PageCopy(pred.Page, succ, func() {
 			if fired {
 				return // administrative + delivered completion raced
 			}
 			fired = true
-			k.copiesInFlight--
+			k.copiesInFlight.Add(-1)
 			hop(pos + 1)
 		})
 	}

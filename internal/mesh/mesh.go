@@ -65,9 +65,10 @@ type Config struct {
 	// Shards partitions the mesh into that many equal contiguous
 	// row-major bands of nodes, each simulated on its own event queue
 	// under conservative lookahead (0 or 1 = serial). The shard count
-	// must tile the mesh: Width*Height divisible by Shards. Requires
-	// Contention off — the per-link queues are shared state no shard
-	// owns.
+	// must tile the mesh: Width*Height divisible by Shards. With
+	// Contention on, contended sends are logged per shard and replayed
+	// against the shared per-link queues at each lookahead barrier, in
+	// dispatch-tag order — byte-identical to the serial schedule.
 	Shards int
 }
 
@@ -174,8 +175,6 @@ func (c Config) Validate() error {
 	case c.Shards > 1 && c.Width*c.Height%c.Shards != 0:
 		return fmt.Errorf("mesh: %d shards do not tile the %dx%d mesh: %d nodes %% %d shards = %d left over (pick a divisor of the node count)",
 			c.Shards, c.Width, c.Height, c.Width*c.Height, c.Shards, c.Width*c.Height%c.Shards)
-	case c.Shards > 1 && c.Contention:
-		return fmt.Errorf("mesh: the contention model is serial-only (per-link queues are shared across shards); run with Shards <= 1 or Contention off")
 	case c.Shards > 1 && c.Base+c.PerHop < 1:
 		return fmt.Errorf("mesh: sharding requires a positive minimum link latency (Base+PerHop = %d) for conservative lookahead", c.Base+c.PerHop)
 	case c.Contention && c.FlitCycles < 1:
@@ -184,6 +183,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mesh: negative LinkBufFlits %d", c.Faults.LinkBufFlits)
 	case c.Faults.LinkBufFlits > 0 && !c.Contention:
 		return fmt.Errorf("mesh: LinkBufFlits requires the contention model (bounded buffers bound the contention queues)")
+	case c.Faults.LinkBufFlits > 0 && c.Shards > 1:
+		return fmt.Errorf("mesh: LinkBufFlits is serial-only (admission reads the shared link queues mid-round, and the NACK bounce at +Base cycles is inside the lookahead window); run with Shards <= 1")
 	case c.Faults.DelayRate > 0 && c.Faults.DelayMax < 1:
 		return fmt.Errorf("mesh: DelayRate %v requires DelayMax >= 1", c.Faults.DelayRate)
 	case c.Faults.CrashDetectAfter < 0:
@@ -367,15 +368,41 @@ type downWindow struct {
 	from, to sim.Cycles
 }
 
-// mailEntry is one cross-shard delivery awaiting injection at the next
+// mailEntry is one cross-shard event awaiting injection at the next
 // lookahead barrier: the arrival time and the tie-break key drawn on
-// the sending shard's engine at Send time, so the event sorts into the
+// the sending shard's engine at send time, so the event sorts into the
 // destination queue exactly where the serial schedule would put it.
+// Usually a message delivery (sink = the mesh, data = *Msg), but any
+// sink dispatch can ride the mail path — proc routes cross-shard
+// thread wakes through it (CrossShardCall).
 type mailEntry struct {
 	at   sim.Cycles
 	lane int32
 	seq  uint64
-	ms   *Msg
+	sink sim.EventSink
+	kind int
+	data any
+}
+
+// pendingSend is one contended send deferred to the next lookahead
+// barrier (sharded contention only). Every PRNG and tie-break-key
+// draw already happened at Send time, in serial draw order; what
+// remains is the walk over the shared per-link queues, which
+// ResolveContention replays in dispatch-tag order so linkFree evolves
+// through exactly the serial sequence of reservations.
+type pendingSend struct {
+	tag      sim.DispatchTag // enclosing dispatch: the Send call's global serial position
+	hopTags  sim.DispatchTag // first of hops pre-reserved tag slots for EvNetHop (observer on)
+	sendT    sim.Cycles
+	src, dst NodeID
+	flits    int
+	ms       *Msg
+	msLane   int32 // pre-drawn delivery key for ms
+	msSeq    uint64
+	dup      *Msg // non-nil: fault injector duplicated the message
+	dupLane  int32
+	dupSeq   uint64
+	extra    sim.Cycles // fault-injected delay on the original
 }
 
 // Mesh is the interconnection network. It is not safe for concurrent
@@ -397,9 +424,16 @@ type Mesh struct {
 	// linkSlot[from*4+dir] indexes linkFree for the directed link
 	// leaving from in direction dir, or -1 where the mesh edge has no
 	// such link. linkFree has exactly one entry per physical directed
-	// link. Used only when Contention is on (serial-only).
+	// link. Used only when Contention is on; sharded runs touch it
+	// only at barriers (ResolveContention), never mid-round.
 	linkSlot []int32
 	linkFree []sim.Cycles
+	// pending[srcShard] logs contended sends deferred to the next
+	// lookahead barrier (sharded contention only; nil otherwise).
+	// Only the owning shard's worker appends — so each list sits in
+	// its engine's dispatch order — and ResolveContention head-merges
+	// the lists with every worker quiescent.
+	pending [][]pendingSend
 	// pools holds one message free-list per shard.
 	pools []msgPool
 	// frands drives the fault model, one PRNG per source node (keyed by
@@ -414,11 +448,16 @@ type Mesh struct {
 	// shStats accumulates network statistics per shard (all writes
 	// happen on the sending shard); Stats() sums the blocks.
 	shStats []Stats
-	// obs, when non-nil, receives structured network events; linkBusy
-	// accumulates per-link occupancy cycles for its utilization samples.
-	// Both are inert (single nil check) when tracing is off.
-	obs      *stats.Observer
-	linkBusy []sim.Cycles
+	// obs, when non-nil, holds the structured-event observers: one
+	// entry for a serial mesh (the master observer), one child per
+	// shard for a sharded mesh (stats.Observer.ShardChild, merged at
+	// barriers by core). Every emission goes through the acting node's
+	// shard entry. linkBusy mirrors the layout — [shard][link]
+	// occupancy cycles, summed by LinkBusyTotals — so mid-round hop
+	// accounting never crosses shard workers. Both are inert (single
+	// nil check) when tracing is off.
+	obs      []*stats.Observer
+	linkBusy [][]sim.Cycles
 }
 
 // New creates a serial mesh. Ports are registered per node with Attach
@@ -460,6 +499,9 @@ func newMesh(engines []*sim.Engine, cfg Config) *Mesh {
 	}
 	for id := 0; id < n; id++ {
 		m.shardOf[id] = int32(cfg.ShardOf(NodeID(id)))
+	}
+	if k > 1 && cfg.Contention {
+		m.pending = make([][]pendingSend, k)
 	}
 	if cfg.Faults.lossy() {
 		m.frands = make([]*rand.Rand, n)
@@ -557,7 +599,7 @@ func (m *Mesh) DrainMail() int {
 		}
 		dst := m.engines[box%len(m.engines)]
 		for _, e := range entries {
-			dst.InjectEventAt(e.at, e.lane, e.seq, m, evDeliver, e.ms)
+			dst.InjectEventAt(e.at, e.lane, e.seq, e.sink, e.kind, e.data)
 		}
 		moved += len(entries)
 		m.mail[box] = entries[:0]
@@ -565,17 +607,52 @@ func (m *Mesh) DrainMail() int {
 	return moved
 }
 
-// SetObserver attaches the structured-event observer (nil = tracing
-// off, the default). core.NewMachine wires this; with no observer the
-// send path performs a single nil check and nothing else.
+// SetObserver attaches the structured-event observer for a serial
+// mesh (nil = tracing off, the default). core.NewMachine wires this;
+// with no observer the send path performs a single nil check and
+// nothing else. Sharded meshes take one child observer per shard via
+// SetShardObservers instead.
 func (m *Mesh) SetObserver(o *stats.Observer) {
-	if o != nil && len(m.engines) > 1 {
-		panic("mesh: the structured-event observer is serial-only (one shared ring); run with Shards <= 1")
+	if len(m.engines) > 1 {
+		panic("mesh: SetObserver on a sharded mesh (use SetShardObservers with one child per shard)")
 	}
-	m.obs = o
-	if o != nil && m.linkBusy == nil {
-		m.linkBusy = make([]sim.Cycles, len(m.linkFree))
+	if o == nil {
+		m.obs = nil
+		return
 	}
+	m.obs = []*stats.Observer{o}
+	m.ensureLinkBusy()
+}
+
+// SetShardObservers attaches one observer per shard — the master
+// observer's ShardChild children, which core merges deterministically
+// at each lookahead barrier. Emissions go through the acting node's
+// shard entry, so no ring or histogram is ever touched by two shard
+// workers.
+func (m *Mesh) SetShardObservers(obs []*stats.Observer) {
+	if len(obs) != len(m.engines) {
+		panic(fmt.Sprintf("mesh: SetShardObservers with %d observers for %d shards", len(obs), len(m.engines)))
+	}
+	m.obs = obs
+	m.ensureLinkBusy()
+}
+
+func (m *Mesh) ensureLinkBusy() {
+	if m.linkBusy == nil {
+		m.linkBusy = make([][]sim.Cycles, len(m.engines))
+		for i := range m.linkBusy {
+			m.linkBusy[i] = make([]sim.Cycles, len(m.linkFree))
+		}
+	}
+}
+
+// obsFor returns the observer serving a shard (nil when tracing is
+// off).
+func (m *Mesh) obsFor(shard int32) *stats.Observer {
+	if m.obs == nil {
+		return nil
+	}
+	return m.obs[shard]
 }
 
 // LinkLabels names every physical directed link in dense-slot order
@@ -607,13 +684,21 @@ func (m *Mesh) LinkLabels() []string {
 }
 
 // LinkBusyTotals returns each directed link's accumulated occupancy in
-// cycles (observer attached only; nil otherwise). The sampler differs
-// successive snapshots into per-interval utilization.
+// cycles, summed over shards (observer attached only; nil otherwise).
+// The sampler differs successive snapshots into per-interval
+// utilization. Call with the simulation quiescent — serial, between
+// runs, or at a lookahead barrier.
 func (m *Mesh) LinkBusyTotals() []sim.Cycles {
 	if m.linkBusy == nil {
 		return nil
 	}
-	return append([]sim.Cycles(nil), m.linkBusy...)
+	out := make([]sim.Cycles, len(m.linkFree))
+	for _, shard := range m.linkBusy {
+		for i, v := range shard {
+			out[i] += v
+		}
+	}
+	return out
 }
 
 // LinkBacklog returns each directed link's queued traffic at the
@@ -845,16 +930,18 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 		m.FreeMsgAt(src, ms)
 		return
 	}
+	o := m.obsFor(srcShard)
 	hops := m.Hops(src, dst)
 	contending := m.cfg.Contention && hops > 0
 	// Bounded router buffers: refuse at injection when a link on the
 	// path has more than LinkBufFlits flits queued, and bounce the
 	// message back after Base cycles (the reverse flow-control signal).
+	// Serial-only (Validate): admission reads the shared link queues.
 	if contending && m.cfg.Faults.LinkBufFlits > 0 && !m.admit(src, dst) {
 		st.Nacked++
 		ms.Nacked = true
-		if m.obs != nil {
-			m.obs.Emit(stats.EvNetNack, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
+		if o != nil {
+			o.Emit(stats.EvNetNack, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
 		}
 		eng.ScheduleEvent(m.cfg.Base, m, evNack, ms)
 		return
@@ -862,44 +949,83 @@ func (m *Mesh) Send(src, dst NodeID, sizeFlits int, ms *Msg) {
 	st.Messages++
 	st.Hops += uint64(hops)
 	st.Flits += uint64(sizeFlits)
-	if m.obs != nil {
-		m.obs.Emit(stats.EvNetInject, int(src), ms.Kind, ms.Cause, uint64(dst), uint64(sizeFlits))
+	if o != nil {
+		o.Emit(stats.EvNetInject, int(src), ms.Kind, ms.Cause, uint64(dst), uint64(sizeFlits))
 	}
 	frand := m.frandFor(src)
 	// Loss is modeled at injection: a dropped message reserves no
 	// links and is recycled immediately.
 	if frand != nil && m.cfg.Faults.DropRate > 0 && frand.Float64() < m.cfg.Faults.DropRate {
 		st.Dropped++
-		if m.obs != nil {
-			m.obs.Emit(stats.EvNetDrop, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
+		if o != nil {
+			o.Emit(stats.EvNetDrop, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
 		}
 		m.FreeMsgAt(src, ms)
 		return
 	}
 	lat := m.Latency(src, dst)
+	// ps, when non-nil, defers this contended send to the barrier
+	// replay: mid-round, the per-link queues are shared state no shard
+	// owns. The entry is logged under the enclosing dispatch's tag —
+	// the Send call's global serial position — and all remaining PRNG
+	// and tie-break-key draws still happen here, in serial draw order,
+	// so the replay only walks the links.
+	var ps *pendingSend
 	if contending {
-		lat += m.contend(src, dst, sizeFlits, ms.Cause)
-	} else if m.obs != nil && hops > 0 {
-		m.emitHops(src, dst, sizeFlits, ms.Cause)
+		if m.pending != nil {
+			q := &m.pending[srcShard]
+			*q = append(*q, pendingSend{
+				tag:   eng.DispatchTag(),
+				sendT: eng.Now(),
+				src:   src,
+				dst:   dst,
+				flits: sizeFlits,
+				ms:    ms,
+			})
+			ps = &(*q)[len(*q)-1]
+			if o != nil {
+				// Reserve the tag slots the serial schedule would have
+				// given the per-hop events emitted right here.
+				ps.hopTags = eng.DispatchTagN(hops)
+			}
+		} else {
+			lat += m.contend(src, dst, sizeFlits, ms.Cause)
+		}
+	} else if o != nil && hops > 0 {
+		m.emitHops(srcShard, eng.Now(), src, dst, sizeFlits, ms.Cause)
 	}
 	if frand != nil {
 		// A duplicate arrives one cycle behind the original (it shares
 		// the original's link reservations — an approximation).
 		if r := m.cfg.Faults.DupRate; r > 0 && frand.Float64() < r {
 			st.Duplicated++
-			if m.obs != nil {
-				m.obs.Emit(stats.EvNetDup, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
+			if o != nil {
+				o.Emit(stats.EvNetDup, int(src), ms.Kind, ms.Cause, uint64(dst), 0)
 			}
-			m.deliverAfter(eng, srcShard, lat+1, m.CloneMsgAt(src, ms))
+			dup := m.CloneMsgAt(src, ms)
+			if ps != nil {
+				ps.dup = dup
+				ps.dupLane, ps.dupSeq = eng.DrawKey()
+			} else {
+				m.deliverAfter(eng, srcShard, lat+1, dup)
+			}
 		}
 		if r := m.cfg.Faults.DelayRate; r > 0 && frand.Float64() < r {
 			st.Delayed++
 			extra := 1 + sim.Cycles(frand.Int63n(int64(m.cfg.Faults.DelayMax)))
-			if m.obs != nil {
-				m.obs.Emit(stats.EvNetDelay, int(src), ms.Kind, ms.Cause, uint64(extra), 0)
+			if o != nil {
+				o.Emit(stats.EvNetDelay, int(src), ms.Kind, ms.Cause, uint64(extra), 0)
 			}
-			lat += extra
+			if ps != nil {
+				ps.extra = extra
+			} else {
+				lat += extra
+			}
 		}
+	}
+	if ps != nil {
+		ps.msLane, ps.msSeq = eng.DrawKey()
+		return
 	}
 	m.deliverAfter(eng, srcShard, lat, ms)
 }
@@ -925,7 +1051,28 @@ func (m *Mesh) deliverAfter(eng *sim.Engine, srcShard int32, lat sim.Cycles, ms 
 	}
 	lane, seq := eng.DrawKey()
 	box := int(srcShard)*len(m.engines) + int(dstShard)
-	m.mail[box] = append(m.mail[box], mailEntry{at: eng.Now() + lat, lane: lane, seq: seq, ms: ms})
+	m.mail[box] = append(m.mail[box], mailEntry{
+		at: eng.Now() + lat, lane: lane, seq: seq,
+		sink: m, kind: evDeliver, data: ms,
+	})
+}
+
+// CrossShardCall buffers an arbitrary sink dispatch for the shard
+// owning dst, arriving LookaheadWindow cycles out — the minimum
+// latency at which any cross-shard interaction is safe under
+// conservative lookahead. The tie-break key is drawn on the calling
+// shard's engine under the current lane, and the mail drains at the
+// next barrier. proc routes cross-shard thread wakes through this;
+// same-shard interactions go straight to the shared engine instead.
+func (m *Mesh) CrossShardCall(src, dst NodeID, sink sim.EventSink, kind int, data any) {
+	srcShard := m.shardOf[src]
+	eng := m.engines[srcShard]
+	lane, seq := eng.DrawKey()
+	box := int(srcShard)*len(m.engines) + int(m.shardOf[dst])
+	m.mail[box] = append(m.mail[box], mailEntry{
+		at: eng.Now() + m.cfg.LookaheadWindow(), lane: lane, seq: seq,
+		sink: sink, kind: kind, data: data,
+	})
 }
 
 // HandleEvent implements sim.EventSink: a message scheduled by Send
@@ -957,8 +1104,8 @@ func (m *Mesh) HandleEvent(kind int, data any) {
 		m.FreeMsgAt(ms.Dst, ms)
 		return
 	}
-	if m.obs != nil {
-		m.obs.Emit(stats.EvNetDeliver, int(ms.Dst), ms.Kind, ms.Cause, uint64(ms.Src), 0)
+	if o := m.obsFor(m.shardOf[ms.Dst]); o != nil {
+		o.Emit(stats.EvNetDeliver, int(ms.Dst), ms.Kind, ms.Cause, uint64(ms.Src), 0)
 	}
 	m.engines[m.shardOf[ms.Dst]].SetLane(int32(ms.Dst))
 	m.ports[ms.Dst].Deliver(ms)
@@ -1007,17 +1154,31 @@ func (m *Mesh) admit(src, dst NodeID) bool {
 }
 
 // contend reserves each directed link on the path and returns the
-// extra queueing delay incurred. This is a pipelined (wormhole-like)
-// approximation: the header advances one hop per PerHop cycles once a
-// link frees, and the body occupies each link for sizeFlits*FlitCycles.
+// extra queueing delay incurred (serial: inline at Send time).
 func (m *Mesh) contend(src, dst NodeID, sizeFlits int, cause uint64) sim.Cycles {
+	return m.contendAt(m.eng.Now(), src, dst, sizeFlits, cause, false, sim.DispatchTag{})
+}
+
+// contendAt reserves each directed link on the dimension-ordered path
+// starting from injection time t0 and returns the queueing delay
+// incurred. This is a pipelined (wormhole-like) approximation: the
+// header advances one hop per PerHop cycles once a link frees, and
+// the body occupies each link for sizeFlits*FlitCycles. The wait is
+// charged to the sending node's shard; when replayed at a barrier
+// (tagged), per-hop events are filed under the tag slots reserved at
+// Send time so the merged stream interleaves exactly like the serial
+// one.
+func (m *Mesh) contendAt(t0 sim.Cycles, src, dst NodeID, sizeFlits int, cause uint64, tagged bool, hopTags sim.DispatchTag) sim.Cycles {
+	srcShard := m.shardOf[src]
+	o := m.obsFor(srcShard)
 	occupancy := sim.Cycles(sizeFlits) * m.cfg.FlitCycles
 	var wait sim.Cycles
-	t := m.eng.Now()
+	t := t0
 	// Walk the dimension-ordered route in place (X first, then Y)
 	// rather than materializing a Path slice per message.
 	x, y := m.Coord(src)
 	dx, dy := m.Coord(dst)
+	hop := 0
 	for x != dx || y != dy {
 		var dir int
 		switch {
@@ -1039,12 +1200,18 @@ func (m *Mesh) contend(src, dst NodeID, sizeFlits int, cause uint64) sim.Cycles 
 			t = m.linkFree[li]
 		}
 		m.linkFree[li] = t + occupancy
-		if m.obs != nil {
-			m.linkBusy[li] += occupancy
-			m.obs.Metrics.HopQueue.Observe(uint64(hopWait))
-			m.obs.EmitAt(t, stats.EvNetHop, int(from), uint8(dir), cause,
-				uint64(li), uint64(occupancy))
+		if o != nil {
+			m.linkBusy[srcShard][li] += occupancy
+			o.Metrics.HopQueue.Observe(uint64(hopWait))
+			if tagged {
+				o.EmitAtTag(hopTags.Plus(hop), t, stats.EvNetHop, int(from), uint8(dir), cause,
+					uint64(li), uint64(occupancy))
+			} else {
+				o.EmitAt(t, stats.EvNetHop, int(from), uint8(dir), cause,
+					uint64(li), uint64(occupancy))
+			}
 		}
+		hop++
 		t += m.cfg.PerHop
 		switch dir {
 		case dirEast:
@@ -1057,17 +1224,55 @@ func (m *Mesh) contend(src, dst NodeID, sizeFlits int, cause uint64) sim.Cycles 
 			y--
 		}
 	}
-	m.shStats[0].QueueWait += wait // contention is serial-only (Validate)
+	m.shStats[srcShard].QueueWait += wait
 	return wait
+}
+
+// ResolveContention replays the finished round's deferred contended
+// sends against the shared per-link queues in the exact order a
+// single serial engine would have walked them — each shard's pending
+// list is already in its engine's dispatch order, and sim.MergeByTag
+// interleaves the lists by head dispatch key (a flat tag sort would
+// misorder same-cycle sends whose dispatching events were scheduled
+// mid-cycle; see MergeByTag) — and injects the resulting deliveries.
+// It runs as barrier work: every shard worker quiescent, before
+// DrainMail. A contended path has at least one hop, so every arrival
+// lands at or beyond sendT + Base + PerHop — strictly past the
+// finished round's horizon, where injection is legal on any shard.
+func (m *Mesh) ResolveContention() {
+	if m.pending == nil {
+		return
+	}
+	tagged := m.obs != nil
+	sim.MergeByTag(m.pending,
+		func(ps *pendingSend) sim.DispatchTag { return ps.tag },
+		func(ps *pendingSend) {
+			lat := m.Latency(ps.src, ps.dst) +
+				m.contendAt(ps.sendT, ps.src, ps.dst, ps.flits, ps.ms.Cause, tagged, ps.hopTags)
+			dstEng := m.engines[m.shardOf[ps.ms.Dst]]
+			if ps.dup != nil {
+				// The duplicate shares the original's reservations and
+				// arrives one cycle behind it (without the delay extra),
+				// exactly as the serial injector schedules it.
+				dstEng.InjectEventAt(ps.sendT+lat+1, ps.dupLane, ps.dupSeq, m, evDeliver, ps.dup)
+			}
+			dstEng.InjectEventAt(ps.sendT+lat+ps.extra, ps.msLane, ps.msSeq, m, evDeliver, ps.ms)
+			ps.ms, ps.dup = nil, nil
+		})
+	for i := range m.pending {
+		m.pending[i] = m.pending[i][:0]
+	}
 }
 
 // emitHops records approximate per-hop link events for an uncontended
 // send (no queueing: the header advances one hop per PerHop cycles),
 // so trace exports cover every link even with the contention model
-// off. Called only when an observer is attached.
-func (m *Mesh) emitHops(src, dst NodeID, sizeFlits int, cause uint64) {
+// off. Called only when an observer is attached, on the sending
+// shard's worker — occupancy lands in the shard's own linkBusy block.
+func (m *Mesh) emitHops(srcShard int32, t sim.Cycles, src, dst NodeID, sizeFlits int, cause uint64) {
+	o := m.obs[srcShard]
+	busy := m.linkBusy[srcShard]
 	occupancy := sim.Cycles(sizeFlits) * m.cfg.FlitCycles
-	t := m.eng.Now()
 	x, y := m.Coord(src)
 	dx, dy := m.Coord(dst)
 	for x != dx || y != dy {
@@ -1084,8 +1289,8 @@ func (m *Mesh) emitHops(src, dst NodeID, sizeFlits int, cause uint64) {
 		}
 		from := m.ID(x, y)
 		li := m.linkIndex(from, dir)
-		m.linkBusy[li] += occupancy
-		m.obs.EmitAt(t, stats.EvNetHop, int(from), uint8(dir), cause,
+		busy[li] += occupancy
+		o.EmitAt(t, stats.EvNetHop, int(from), uint8(dir), cause,
 			uint64(li), uint64(occupancy))
 		t += m.cfg.PerHop
 		switch dir {

@@ -27,8 +27,10 @@ func TestValidateLargeMeshes(t *testing.T) {
 
 // TestValidateShards pins the sharding rules: the count must be
 // non-negative, at most the node count, tile the mesh exactly, and is
-// incompatible with the contention model and with zero link latency.
-// Errors must carry enough context to fix the config.
+// incompatible with zero link latency, bounded link buffers, and
+// crash scripts (contention and tracing are shard-aware — see the
+// equivalence fuzzer). Errors must carry enough context to fix the
+// config.
 func TestValidateShards(t *testing.T) {
 	mod := func(f func(*Config)) Config {
 		cfg := DefaultConfig(4, 4)
@@ -50,8 +52,16 @@ func TestValidateShards(t *testing.T) {
 			[]string{"17 shards", "16 nodes"}},
 		{"non-tiling", mod(func(c *Config) { c.Shards = 3 }),
 			[]string{"3 shards", "do not tile", "1 left over", "divisor"}},
-		{"contention", mod(func(c *Config) { c.Shards = 4; c.Contention = true }),
-			[]string{"contention model is serial-only"}},
+		{"contention", mod(func(c *Config) { c.Shards = 4; c.Contention = true }), nil},
+		{"link buffers", mod(func(c *Config) {
+			c.Shards = 4
+			c.Contention = true
+			c.Faults.LinkBufFlits = 8
+		}), []string{"LinkBufFlits is serial-only", "Shards <= 1"}},
+		{"crashes", mod(func(c *Config) {
+			c.Shards = 4
+			c.Faults.Crashes = []CrashEvent{{Node: 1, At: 100, Duration: 50}}
+		}), []string{"crash injection is serial-only"}},
 		{"zero latency", mod(func(c *Config) { c.Shards = 4; c.Base = 0; c.PerHop = 0 }),
 			[]string{"positive minimum link latency", "conservative lookahead"}},
 	}

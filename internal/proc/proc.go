@@ -71,6 +71,11 @@ type Proc struct {
 	// system, which is the first point the coroutine yields anyway.
 	down   bool
 	halted []*Thread
+
+	// net routes cross-shard Wakes through the mesh's mailbox path when
+	// waker and sleeper live on different shard engines. Nil in
+	// unit-test harnesses that never cross shards.
+	net *mesh.Mesh
 }
 
 // New builds a processor for node.
@@ -83,6 +88,10 @@ func New(node mesh.NodeID, eng *sim.Engine, cm *coherence.CM, kern *kernel.Kerne
 
 // SetFenceOnSync enables the implicit-fence-before-every-sync ablation.
 func (p *Proc) SetFenceOnSync(v bool) { p.fenceOnSync = v }
+
+// SetNet gives the processor the mesh, enabling cross-shard Wake
+// delivery through the mesh's cross-shard mailboxes.
+func (p *Proc) SetNet(net *mesh.Mesh) { p.net = net }
 
 // Node returns the mesh node this processor occupies.
 func (p *Proc) Node() mesh.NodeID { return p.node }
@@ -255,6 +264,23 @@ func (p *Proc) WakeThread(t *Thread) {
 	} else {
 		t.wakePending = true
 	}
+}
+
+// evWake is the mailbox event kind for a cross-shard Wake; data is the
+// target *Thread.
+const evWake = 1
+
+// HandleEvent delivers a cross-shard Wake buffered by the mesh's
+// mailbox path. The dispatch draws keys under this node's lane, like
+// every other activity of the node.
+func (p *Proc) HandleEvent(kind int, data any) {
+	if kind != evWake {
+		panic(fmt.Sprintf("proc: unknown event kind %d", kind))
+	}
+	prev := p.eng.Lane()
+	p.eng.SetLane(int32(p.node))
+	p.WakeThread(data.(*Thread))
+	p.eng.SetLane(prev)
 }
 
 // --- Thread API --------------------------------------------------------
@@ -551,16 +577,22 @@ func (t *Thread) Sleep() {
 }
 
 // Wake makes the target thread runnable (wake_up() of Table 3-2). It
-// may be called from any thread on the same shard. A cross-shard wake
-// is a zero-latency interaction between nodes that the sharded
-// engine's conservative lookahead cannot order, so it panics loudly
-// rather than desynchronizing the run; programs built on Sleep/Wake
-// (the sync package's locks) must keep waker and sleeper on one shard.
+// may be called from any thread. A same-shard wake is instantaneous,
+// exactly as in a serial run. A cross-shard wake is a zero-latency
+// interaction between nodes that the sharded engine's conservative
+// lookahead cannot order inside a round, so it rides the mesh's
+// cross-shard mailbox path instead and lands one lookahead window
+// later — deterministic for a fixed shard count, but not
+// byte-identical to serial timing. The wakePending guard absorbs a
+// wake that arrives before (or without) the target's Sleep.
 func (t *Thread) Wake(target *Thread) {
 	if target.proc.eng != t.proc.eng {
-		panic(fmt.Sprintf("proc: cross-shard Wake from node %d to node %d: "+
-			"Sleep/Wake synchronization requires both threads on the same shard",
-			t.proc.node, target.proc.node))
+		if t.proc.net == nil {
+			panic(fmt.Sprintf("proc: cross-shard Wake from node %d to node %d without a mesh reference (SetNet)",
+				t.proc.node, target.proc.node))
+		}
+		t.proc.net.CrossShardCall(t.proc.node, target.proc.node, target.proc, evWake, target)
+		return
 	}
 	target.proc.WakeThread(target)
 }
