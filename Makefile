@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json trace-smoke scale scale-smoke vet fmt lint experiments experiments-quick golden examples clean
+.PHONY: all check build test race bench bench-json trace-smoke race-smoke scale scale-smoke vet fmt lint experiments experiments-quick golden examples clean
 
 all: check
 
 # The default gate: everything a PR must keep green. The shard
 # equivalence tests ride in test/race, bench-json's -exp all includes
 # the scale experiment's quick leg (which fails loudly if any sharded
-# run diverges from its serial twin), and scale-smoke reruns that
-# sweep full-featured: contention + tracing at 4 shards.
-check: build test race lint bench-json trace-smoke scale-smoke
+# run diverges from its serial twin), scale-smoke reruns that sweep
+# full-featured (contention + tracing at 4 shards), and race-smoke
+# runs the happens-before detection corpus end to end.
+check: build test race lint bench-json trace-smoke race-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -68,6 +69,13 @@ trace-smoke:
 	$(GO) run ./cmd/plusbench -quick -exp figure2-1 -parallel 2 \
 		-trace /tmp/plus-trace-smoke.json -sample 5000 -hist >/dev/null
 	@rm -f /tmp/plus-trace-smoke.json
+
+# Happens-before race-detection smoke: runs the registered corpus
+# (racy pair, fenced pair, SOR, SSSP) under the data-access event
+# layer. plusbench exits nonzero iff a racy program goes undetected or
+# a clean one is misflagged — either is a detector regression.
+race-smoke:
+	$(GO) run ./cmd/plusbench -races >/dev/null
 
 vet:
 	$(GO) vet ./...

@@ -42,6 +42,11 @@ type Config struct {
 	// workload). Without it, halo reads are remote.
 	ReplicateBoundaries bool
 	Validate            bool
+	// Machine, when non-nil, overrides the machine configuration
+	// (mesh geometry fields are still taken from MeshW/MeshH); used by
+	// the observation and race-detection runners to attach observers
+	// and sweep shard counts.
+	Machine *core.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -116,7 +121,12 @@ func seedGrid(n int) []uint32 {
 // other calls, so one fresh engine may run per worker goroutine.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	m, err := core.NewMachine(core.DefaultConfig(cfg.MeshW, cfg.MeshH))
+	mcfg := core.DefaultConfig(cfg.MeshW, cfg.MeshH)
+	if cfg.Machine != nil {
+		mcfg = *cfg.Machine
+		mcfg.MeshWidth, mcfg.MeshHeight = cfg.MeshW, cfg.MeshH
+	}
+	m, err := core.NewMachine(mcfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -168,7 +178,9 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	var updates uint64
+	// One counter per strip: sharded machines run threads on parallel
+	// goroutines, so a single shared Go-level counter would race.
+	updatesBy := make([]uint64, cfg.Procs)
 	cell := func(r, c int) memory.VAddr { return grid + memory.VAddr(r*cfg.N+c) }
 	for p := 0; p < cfg.Procs; p++ {
 		p := p
@@ -193,7 +205,7 @@ func Run(cfg Config) (Result, error) {
 								uint32(t.Read(cell(r, c+1)))
 							t.Compute(cfg.CellWork)
 							t.Write(cell(r, c), memory.Word(sum/4))
-							updates++
+							updatesBy[p]++
 						}
 					}
 					// Publish this colour's writes everywhere, then
@@ -207,6 +219,10 @@ func Run(cfg Config) (Result, error) {
 	elapsed, err := m.Run()
 	if err != nil {
 		return Result{}, err
+	}
+	var updates uint64
+	for _, u := range updatesBy {
+		updates += u
 	}
 	res := Result{
 		Elapsed:     elapsed,

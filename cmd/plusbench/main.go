@@ -9,6 +9,7 @@
 //	          [-trace FILE] [-trace-window A:B] [-trace-events N]
 //	          [-sample N] [-hist]
 //	plusbench -compare OLD.json NEW.json [-threshold F]
+//	plusbench -races [-json] [-trace FILE]
 //
 // Every experiment is a sweep of independent simulation points run on
 // a worker pool of -parallel goroutines (default GOMAXPROCS); stdout
@@ -31,6 +32,15 @@
 //
 // -compare diffs two -timing reports and exits 1 when any experiment
 // regressed in wall-clock by more than -threshold (default 10%).
+//
+// -races runs the registered race-detection corpus (experiments.
+// RacePrograms) with the data-access event layer on and prints each
+// program's happens-before report in name order — deterministic and
+// identical for any shard count. -json emits the outcomes as a JSON
+// array instead; -trace additionally exports every corpus run as a
+// Chrome trace with the detected races on a per-run annotation track.
+// Exit status is non-zero iff any program misses its declared verdict
+// (a racy program undetected, or a clean one misflagged).
 //
 // Results print to stdout; EXPERIMENTS.md records a reference run.
 package main
@@ -67,10 +77,16 @@ func main() {
 	hist := flag.Bool("hist", false, "print merged latency histograms and a stall summary (implies instrumentation)")
 	compare := flag.Bool("compare", false, "compare two -timing reports: plusbench -compare OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 0.10, "wall-clock regression threshold for -compare (fraction)")
+	races := flag.Bool("races", false, "run the race-detection corpus and print happens-before reports")
 	flag.Parse()
 
 	if *compare {
 		runCompare(flag.Args(), *threshold)
+		return
+	}
+
+	if *races {
+		runRaces(*jsonOut, *traceOut)
 		return
 	}
 
@@ -191,6 +207,59 @@ func writeObservation(ob *experiments.Observation, traceOut string, hist bool) {
 		m := ob.Metrics()
 		fmt.Println(m.Render())
 		fmt.Println(stats.StallSummary(runs))
+	}
+}
+
+// runRaces implements -races: run the corpus, render each report (or
+// the JSON outcome array), optionally export annotated traces, and
+// exit non-zero when any program misses its declared verdict.
+func runRaces(jsonOut bool, traceOut string) {
+	outcomes, ok, err := experiments.RunRaceCorpus()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plusbench: races: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		enc, err := json.MarshalIndent(outcomes, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: marshal races: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(enc))
+	} else {
+		for _, o := range outcomes {
+			verdict := "PASS"
+			if !o.Pass {
+				verdict = "FAIL"
+			}
+			fmt.Printf("[%s] expected %s\n%s", verdict, o.Expect, o.Report.Format())
+		}
+	}
+	if traceOut != "" {
+		runs := make([]stats.ObservedRun, 0, len(outcomes))
+		for _, o := range outcomes {
+			runs = append(runs, o.Trace)
+		}
+		data, err := stats.ChromeTrace(runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := stats.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: trace validation: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "plusbench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "plusbench: %d trace event(s) from %d run(s) -> %s\n",
+			n, len(runs), traceOut)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "plusbench: race corpus verdict mismatch")
+		os.Exit(1)
 	}
 }
 

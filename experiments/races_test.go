@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRaceCorpus is the directed-corpus pin: the racy pair is flagged
+// (both sites, right threads, right words), and the fenced pair, SOR
+// and SSSP come out clean — no false negatives, no false positives.
+func TestRaceCorpus(t *testing.T) {
+	outcomes, ok, err := RunRaceCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("corpus verdict: not ok")
+	}
+	byName := map[string]RaceOutcome{}
+	for _, o := range outcomes {
+		byName[o.Program] = o
+		if !o.Pass {
+			t.Errorf("%s: expected %s, got %d race(s) (dropped %d)",
+				o.Program, o.Expect, len(o.Report.Races), o.Report.Dropped)
+		}
+	}
+	racy := byName["racy-pair"].Report
+	if racy == nil || len(racy.Races) != 2 {
+		t.Fatalf("racy-pair: got %+v, want exactly 2 races (one per word)", racy)
+	}
+	for _, r := range racy.Races {
+		if r.First.Kind != "write" || r.Second.Kind != "read" {
+			t.Errorf("racy-pair: kinds %s/%s, want write/read", r.First.Kind, r.Second.Kind)
+		}
+		if r.First.Tid == r.Second.Tid {
+			t.Errorf("racy-pair: both sites on t%d", r.First.Tid)
+		}
+		if r.Missing == "" {
+			t.Error("racy-pair: no missing-sync diagnosis")
+		}
+	}
+	// The two races are the two consecutive words of the data page.
+	if racy.Races[0].Page != racy.Races[1].Page ||
+		racy.Races[0].Off+1 != racy.Races[1].Off {
+		t.Errorf("racy-pair: sites at page/off %d/%d and %d/%d, want consecutive words",
+			racy.Races[0].Page, racy.Races[0].Off, racy.Races[1].Page, racy.Races[1].Off)
+	}
+}
+
+// TestRaceReportShardEquivalence pins that race reports are
+// byte-identical between the serial engine and sharded runs at every
+// supported tiling: the merged event stream preserves serial emission
+// order, so the detector — a pure function of the stream — cannot
+// tell the difference. (All corpus programs avoid cross-shard Wake,
+// which is the one documented sharding divergence.)
+func TestRaceReportShardEquivalence(t *testing.T) {
+	for _, p := range RacePrograms() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			serial, err := RaceReportFor(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := serial.Format()
+			wantJSON, err := serial.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{2, 4, 8} {
+				rep, err := RaceReportFor(p, k)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				if got := rep.Format(); got != want {
+					t.Errorf("shards=%d: report differs from serial\nserial:\n%s\nsharded:\n%s", k, want, got)
+				}
+				gotJSON, err := rep.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(gotJSON) != string(wantJSON) {
+					t.Errorf("shards=%d: JSON differs from serial", k)
+				}
+			}
+		})
+	}
+}

@@ -60,6 +60,7 @@ func (cm *CM) batchWrite(g GAddr, v memory.Word) {
 			cm.wrIssued = make(map[uint64]issueRec)
 		}
 		cm.wrIssued[id] = issueRec{at: cm.eng.Now(), cause: cm.bcause}
+		cm.lastCause = cm.bcause
 		o.Emit(stats.EvWriteIssue, int(cm.self), 0, cm.bcause, packAddr(g), id)
 	}
 	if len(cm.bwrites) >= cm.batchMax {

@@ -159,6 +159,12 @@ type CM struct {
 	// (read-done latency). RMW round trips ride in the dslot itself.
 	wrIssued map[uint64]issueRec
 	rdIssued map[uint64]issueRec
+	// lastCause is the causal ID the most recent traced issue on this
+	// node drew (write, remote read or RMW) — read synchronously by the
+	// processor's data-access layer to stamp the matching EvAcc* event.
+	// Zeroed at the top of each issue path so an operation that draws
+	// no cause (a local read) never inherits a predecessor's ID.
+	lastCause uint64
 }
 
 // issueRec remembers when an operation was issued and the causal ID
@@ -174,9 +180,13 @@ type dslot struct {
 	val    memory.Word
 	waiter func(memory.Word)
 	// issuedAt/cause are set at issue when an observer is attached
-	// (cause != 0 marks a traced operation).
+	// (cause != 0 marks a traced operation). cause is consumed (zeroed)
+	// when the result arrives; acause preserves the same ID until the
+	// slot is released so the data-access layer can pair the Verify
+	// that consumes the result with the issue (EvAccVerify ↔ EvAccRMW).
 	issuedAt sim.Cycles
 	cause    uint64
+	acause   uint64
 	// Replay record (crash script runs): enough to re-issue the
 	// operation if its request is lost inside a crashed node. gen is
 	// the slot-generation token guarding against stale replies to a
@@ -309,6 +319,21 @@ func (cm *CM) Next(frame memory.PPage) (memory.GPage, bool) {
 // cache occupancy).
 func (cm *CM) PendingCount() int { return len(cm.pending) }
 
+// LastCause returns the causal ID drawn by the most recent traced
+// issue on this node (0 when the last operation drew none — a local
+// read, or any operation with tracing off). The processor's
+// data-access layer reads it synchronously, immediately after the
+// issuing call returns, to stamp the matching EvAcc* event; an
+// operation whose issue was deferred behind a full cache reports 0
+// (best-effort correlation, documented in DESIGN §15).
+func (cm *CM) LastCause() uint64 { return cm.lastCause }
+
+// SlotCause returns the causal ID a busy delayed-operation slot was
+// issued under (0 with tracing off). Unlike the histogram-facing cause
+// it survives result arrival, so Verify can pair its access event with
+// the issue; it dies only when the slot is released.
+func (cm *CM) SlotCause(slot int) uint64 { return cm.slots[slot].acause }
+
 // BusySlots returns the number of delayed-operation cache entries in
 // use.
 func (cm *CM) BusySlots() int {
@@ -345,6 +370,7 @@ func (cm *CM) ReadFast(g GAddr, done func(memory.Word), mayFast bool) (v memory.
 }
 
 func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.Word, sim.Cycles, bool) {
+	cm.lastCause = 0
 	// Reads are combine barriers: any read issued by this node flushes
 	// the combine buffer (batch.go). In particular a read of a word
 	// still resting in the buffer would otherwise block below on a
@@ -392,6 +418,7 @@ func (cm *CM) startRead(g GAddr, done func(memory.Word), mayFast bool) (memory.W
 	m.Dst = g.Node
 	if o := cm.obs(); o != nil {
 		m.Cause = o.CauseFor(int(cm.self))
+		cm.lastCause = m.Cause
 		if cm.rdIssued == nil {
 			cm.rdIssued = make(map[uint64]issueRec)
 		}
@@ -424,6 +451,7 @@ func (cm *CM) scheduleReadDone(delay sim.Cycles, fn func(memory.Word), v memory.
 // combining enabled (Timing.MaxBatchWrites > 1) the write may first
 // rest in the combine buffer; see batch.go for the flush triggers.
 func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
+	cm.lastCause = 0
 	if len(cm.pending) >= cm.tm.MaxPendingWrites {
 		// The cache is full: flush the combine buffer first, or the
 		// acks that free an entry (and wake this waiter) never happen.
@@ -444,6 +472,7 @@ func (cm *CM) Write(g GAddr, v memory.Word, accepted func()) {
 	m.Writes = append(m.Writes[:0], wordWrite{Off: g.Off, Val: v})
 	if o := cm.obs(); o != nil {
 		m.Cause = o.CauseFor(int(cm.self))
+		cm.lastCause = m.Cause
 		if cm.wrIssued == nil {
 			cm.wrIssued = make(map[uint64]issueRec)
 		}
@@ -538,8 +567,9 @@ func (cm *CM) RMW(op Op, g GAddr, operand memory.Word, issued func(slot int)) {
 	m.Page, m.Off, m.Val = g.Page, g.Off, operand
 	if o := cm.obs(); o != nil {
 		m.Cause = o.CauseFor(int(cm.self))
+		cm.lastCause = m.Cause
 		s := &cm.slots[slot]
-		s.issuedAt, s.cause = cm.eng.Now(), m.Cause
+		s.issuedAt, s.cause, s.acause = cm.eng.Now(), m.Cause, m.Cause
 		o.Emit(stats.EvRMWIssue, int(cm.self), uint8(op), m.Cause, packAddr(g), uint64(operand))
 	}
 	if g.Node == cm.self {

@@ -312,6 +312,21 @@ func (m *Machine) attachObserver(o *stats.Observer) {
 	if period := o.SampleInterval(); period > 0 {
 		m.sample = m.samplerFunc(o, period)
 	}
+	if o.DataAccess() {
+		// Route every node's mapping installs (fault fills, kernel
+		// remaps) into the access stream through the node's own
+		// observer — the shard child on a sharded machine, so the
+		// events carry real dispatch tags and merge deterministically.
+		for i, tb := range m.tables {
+			node, p := i, m.procs[i]
+			tb.OnInstall = func(vp memory.VPage, g memory.GPage) {
+				if po := p.Observer(); po != nil {
+					po.Emit(stats.EvAccMap, node, 0, 0,
+						uint64(vp), uint64(uint32(g.Node))<<32|uint64(uint32(g.Page)))
+				}
+			}
+		}
+	}
 	probe := o.EngineEvents()
 	if len(m.engines) == 1 {
 		m.net.SetObserver(o)

@@ -24,6 +24,12 @@ type Table struct {
 	// Flushes counts whole-table invalidations (TLB shootdowns on copy
 	// deletion).
 	Flushes uint64
+	// OnInstall, when non-nil, observes every mapping install — a lazy
+	// fault fill from the processor or a kernel remap (replication
+	// switching a node to its local copy). core wires it to emit
+	// EvAccMap when the data-access event layer is on, so a trace
+	// records which physical copy each node's virtual page resolved to.
+	OnInstall func(p memory.VPage, g memory.GPage)
 }
 
 // New returns an empty page table with a TLB of the given capacity.
@@ -69,6 +75,9 @@ func (t *Table) Lookup(p memory.VPage) (memory.GPage, bool) {
 func (t *Table) Install(p memory.VPage, g memory.GPage) {
 	t.entries[p] = g
 	t.tlb.Insert(p, g)
+	if t.OnInstall != nil {
+		t.OnInstall(p, g)
+	}
 }
 
 // Invalidate removes the mapping for page p (no-op if absent),

@@ -101,6 +101,24 @@ func (p *Proc) Threads() []*Thread { return p.threads }
 
 func (p *Proc) nstat() *stats.Node { return &p.st.Nodes[p.node] }
 
+// Observer returns the structured-event observer this processor's
+// node emits to (the shard child on a sharded machine), or nil when
+// tracing is off.
+func (p *Proc) Observer() *stats.Observer { return p.st.Observer() }
+
+// acc returns the observer when the data-access event layer is on —
+// the single gate every EvAcc* emission in this package checks.
+func (p *Proc) acc() *stats.Observer {
+	if o := p.st.Observer(); o != nil && o.DataAccess() {
+		return o
+	}
+	return nil
+}
+
+// tb packs a thread id above a 32-bit payload word — the B payload of
+// every data-access event.
+func tb(tid int, v memory.Word) uint64 { return uint64(tid)<<32 | uint64(uint32(v)) }
+
 // tstate is a thread's scheduling state.
 type tstate int
 
@@ -123,6 +141,11 @@ type Thread struct {
 	// wakePending absorbs a Wake that races ahead of Sleep, the
 	// classic lost-wakeup guard.
 	wakePending bool
+	// accSync marks the next Read/Write as a synchronization access
+	// (set by ReadSync/WriteSync, consumed and cleared by Read/Write).
+	// It only annotates the emitted data-access event — timing and
+	// protocol behavior are identical to a plain access.
+	accSync bool
 	// idleDepth > 0 suspends useful-time accounting: operations issued
 	// while polling for work are real processor activity but not the
 	// "useful processor time" of the paper's utilization metric.
@@ -168,11 +191,17 @@ func (p *Proc) Spawn(id int, name string, body func(*Thread)) *Thread {
 		// propagate and the machine can quiesce. No-op when combining
 		// is off.
 		p.cm.FlushBatch()
+		if o := p.acc(); o != nil {
+			o.Emit(stats.EvAccExit, int(p.node), 0, 0, uint64(t.id), 0)
+		}
 		t.state = tDone
 		p.current = nil
 		p.dispatchNext()
 	})
 	p.threads = append(p.threads, t)
+	if o := p.acc(); o != nil {
+		o.Emit(stats.EvAccSpawn, int(p.node), 0, 0, uint64(t.id), 0)
+	}
 	if p.current == nil {
 		p.dispatch(t)
 	} else {
@@ -447,6 +476,8 @@ func (t *Thread) Compute(c sim.Cycles) { t.consume(c) }
 // round trip; a read of a location with a write pending from this node
 // blocks until the write completes.
 func (t *Thread) Read(va memory.VAddr) memory.Word {
+	sync := t.accSync
+	t.accSync = false
 	t.haltIfDown()
 	g := t.translate(va)
 	t.opCompleted = false
@@ -454,9 +485,13 @@ func (t *Thread) Read(va memory.VAddr) memory.Word {
 	// wait, a local read whose latency window contains no other event
 	// completes in place (direct clock advance, same schedule).
 	v, elapsed, fast := t.proc.cm.ReadFast(g, t.readDone, len(t.proc.ready) == 0)
+	cause := t.proc.cm.LastCause()
 	if !fast {
 		elapsed = t.waitOp(stats.StallRead)
 		v = t.readVal
+	}
+	if o := t.proc.acc(); o != nil {
+		o.Emit(stats.EvAccRead, int(t.proc.node), accSub(sync), cause, uint64(va), tb(t.id, v))
 	}
 	// Accounting: an uncontended local access is useful memory time; a
 	// remote or write-blocked read is busy for the issue overhead and
@@ -480,12 +515,46 @@ func (t *Thread) Read(va memory.VAddr) memory.Word {
 // propagates to every copy in the background; the processor stalls
 // only when the pending-writes cache is full.
 func (t *Thread) Write(va memory.VAddr, v memory.Word) {
+	sync := t.accSync
+	t.accSync = false
 	t.haltIfDown()
 	g := t.translate(va)
 	t.opCompleted = false
 	t.proc.cm.Write(g, v, t.opDone)
+	cause := t.proc.cm.LastCause()
 	t.proc.nstat().WriteStall += t.waitOp(stats.StallWrite)
 	t.consume(t.proc.tm.WriteIssue)
+	if o := t.proc.acc(); o != nil {
+		o.Emit(stats.EvAccWrite, int(t.proc.node), accSub(sync), cause, uint64(va), tb(t.id, v))
+	}
+}
+
+// accSub maps the sync-annotation flag to the EvAccRead/EvAccWrite Sub
+// code (1 = synchronization access).
+func accSub(sync bool) uint8 {
+	if sync {
+		return 1
+	}
+	return 0
+}
+
+// ReadSync is Read with the access annotated as a synchronization read
+// in the data-access event stream (Sub = 1): a spin-loop or flag read
+// that intentionally polls a word released by Fence + WriteSync. The
+// psync constructs use it for their internal spin words; timing and
+// protocol behavior are identical to Read.
+func (t *Thread) ReadSync(va memory.VAddr) memory.Word {
+	t.accSync = true
+	return t.Read(va)
+}
+
+// WriteSync is Write annotated as a synchronization (release) write —
+// the `Fence(); Write(w, v)` publication idiom of §3.1, as in the
+// barrier's generation flip or the spin lock's release. Identical to
+// Write except for the event annotation.
+func (t *Thread) WriteSync(va memory.VAddr, v memory.Word) {
+	t.accSync = true
+	t.Write(va, v)
 }
 
 // Fence blocks until all of this node's earlier writes (including
@@ -500,6 +569,12 @@ func (t *Thread) Fence() {
 	t.opCompleted = false
 	t.proc.cm.Fence(t.opDone)
 	t.proc.nstat().FenceStall += t.waitOp(stats.StallFence)
+	// EvAccFence marks the COMPLETION (all earlier writes done at every
+	// copy) — the release point the race detector snapshots — unlike
+	// EvFence above, which marks the issue.
+	if o := t.proc.acc(); o != nil {
+		o.Emit(stats.EvAccFence, int(t.proc.node), 0, 0, uint64(t.id), 0)
+	}
 }
 
 // Issue starts a delayed operation on va and returns a handle for
@@ -517,6 +592,10 @@ func (t *Thread) Issue(op coherence.Op, va memory.VAddr, operand memory.Word) Ha
 	t.proc.cm.RMW(op, g, operand, t.issuedDone)
 	t.proc.nstat().WriteStall += t.waitOp(stats.StallWrite)
 	h := Handle{slot: t.issuedSlot, node: t.proc.node}
+	if o := t.proc.acc(); o != nil {
+		o.Emit(stats.EvAccRMW, int(t.proc.node), uint8(op), t.proc.cm.SlotCause(h.slot),
+			uint64(va), tb(t.id, operand))
+	}
 	if t.proc.mode == SwitchOnSync {
 		t.yield()
 	}
@@ -532,10 +611,16 @@ func (t *Thread) Verify(h Handle) memory.Word {
 		panic(fmt.Sprintf("proc: thread %q verifying a handle issued on node %d", t.name, h.node))
 	}
 	t.haltIfDown()
+	// The slot's causal ID must be captured before cm.Verify: delivery
+	// releases the slot.
+	cause := t.proc.cm.SlotCause(h.slot)
 	t.opCompleted = false
 	t.proc.cm.Verify(h.slot, t.readDone)
 	t.proc.nstat().VerifyStall += t.waitOp(stats.StallVerify)
 	t.consume(t.proc.tm.ResultRead)
+	if o := t.proc.acc(); o != nil {
+		o.Emit(stats.EvAccVerify, int(t.proc.node), 0, cause, uint64(t.id), uint64(uint32(t.readVal)))
+	}
 	return t.readVal
 }
 
@@ -549,9 +634,13 @@ func (t *Thread) TryVerify(h Handle) (memory.Word, bool) {
 		panic(fmt.Sprintf("proc: thread %q polling a handle issued on node %d", t.name, h.node))
 	}
 	t.haltIfDown()
+	cause := t.proc.cm.SlotCause(h.slot)
 	v, ok := t.proc.cm.TryVerify(h.slot)
 	if ok {
 		t.consume(t.proc.tm.ResultRead)
+		if o := t.proc.acc(); o != nil {
+			o.Emit(stats.EvAccVerify, int(t.proc.node), 0, cause, uint64(t.id), uint64(uint32(v)))
+		}
 		return v, true
 	}
 	t.consume(t.proc.tm.CacheHit)
@@ -564,6 +653,7 @@ func (t *Thread) TryVerify(h Handle) (memory.Word, bool) {
 func (t *Thread) Sleep() {
 	if t.wakePending {
 		t.wakePending = false
+		t.emitSleepEnd()
 		return
 	}
 	// Parking indefinitely must not strand buffered writes (another
@@ -574,6 +664,15 @@ func (t *Thread) Sleep() {
 	t.proc.dispatchNext()
 	t.co.ParkInline()
 	t.state = tRunning
+	t.emitSleepEnd()
+}
+
+// emitSleepEnd records the Sleep-return access event — the point where
+// the race detector joins every earlier Wake targeting this thread.
+func (t *Thread) emitSleepEnd() {
+	if o := t.proc.acc(); o != nil {
+		o.Emit(stats.EvAccSleep, int(t.proc.node), 0, 0, uint64(t.id), 0)
+	}
 }
 
 // Wake makes the target thread runnable (wake_up() of Table 3-2). It
@@ -586,6 +685,9 @@ func (t *Thread) Sleep() {
 // byte-identical to serial timing. The wakePending guard absorbs a
 // wake that arrives before (or without) the target's Sleep.
 func (t *Thread) Wake(target *Thread) {
+	if o := t.proc.acc(); o != nil {
+		o.Emit(stats.EvAccWake, int(t.proc.node), 0, 0, uint64(t.id), uint64(target.id))
+	}
 	if target.proc.eng != t.proc.eng {
 		if t.proc.net == nil {
 			panic(fmt.Sprintf("proc: cross-shard Wake from node %d to node %d without a mesh reference (SetNet)",

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"plus/internal/sim"
 )
 
 // ObservedRun packages one machine's observability output for the
@@ -15,6 +17,19 @@ type ObservedRun struct {
 	Events  []Event   `json:"-"`
 	Samples []Sample  `json:"samples,omitempty"`
 	Metrics Metrics   `json:"metrics"`
+	// Marks are named annotations pinned to cycles, rendered on a
+	// dedicated per-run track (only present when non-empty, so
+	// unannotated exports are unchanged). Analysis layers above stats —
+	// e.g. the race detector — attach their findings here without stats
+	// needing to know about them.
+	Marks []Mark `json:"marks,omitempty"`
+}
+
+// Mark is one annotation: an instant with a label and free-form args.
+type Mark struct {
+	Name string         `json:"name"`
+	At   sim.Cycles     `json:"at"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // ObservedRunFrom snapshots an observer into an exportable run record.
@@ -163,6 +178,24 @@ func ChromeTrace(runs []ObservedRun) ([]byte, error) {
 						Name: "cycles", Ph: "C", Ts: ts, Pid: nodePid(n), Args: args,
 					})
 				}
+			}
+		}
+
+		// Annotation track: marks ride the reserved pid slot after the
+		// links, so annotated and unannotated exports number node and
+		// link tracks identically.
+		if len(run.Marks) > 0 {
+			markPid := base + nodes + links
+			evs = append(evs,
+				chromeEvent{Name: "process_name", Ph: "M", Pid: markPid,
+					Args: map[string]any{"name": run.Name + " races"}},
+				chromeEvent{Name: "process_sort_index", Ph: "M", Pid: markPid,
+					Args: map[string]any{"sort_index": markPid}})
+			for _, mk := range run.Marks {
+				evs = append(evs, chromeEvent{
+					Name: mk.Name, Ph: "i", Ts: float64(mk.At) * cycleMicros, S: "p",
+					Pid: markPid, Tid: 1, Cat: "race", Args: mk.Args,
+				})
 			}
 		}
 

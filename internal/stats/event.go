@@ -62,6 +62,23 @@ const (
 	// EngineEvents, which is very verbose.
 	EvEngineDispatch // one engine event dispatched; A = sink-defined kind
 
+	// Data-access layer (internal/proc), recorded only with
+	// ObserveConfig.DataAccess: the typed per-thread access stream the
+	// happens-before race detector (internal/trace) consumes. A carries
+	// the word-grained virtual address where noted (identity is virtual:
+	// the same word maps to different physical copies on different
+	// nodes); B packs the thread id above the 32-bit value.
+	EvAccRead   // read completed; Sub = 1 if sync-annotated; A = vaddr, B = tid<<32 | value
+	EvAccWrite  // write issued; Sub = 1 if sync-annotated; A = vaddr, B = tid<<32 | value
+	EvAccRMW    // delayed op issued; Sub = op code, A = vaddr, B = tid<<32 | operand; Cause pairs with EvRMWExec/EvAccVerify
+	EvAccVerify // delayed-op result consumed (Verify/TryVerify success); A = tid, B = result; Cause pairs with EvAccRMW
+	EvAccFence  // write fence COMPLETED (EvFence marks the issue); A = tid
+	EvAccSpawn  // thread created; A = tid
+	EvAccWake   // explicit Wake issued; A = waker tid, B = target tid
+	EvAccSleep  // Sleep returned (wake absorbed); A = tid
+	EvAccExit   // thread body returned; A = tid
+	EvAccMap    // page mapping installed (fault fill or kernel remap); A = vpage, B = packed gaddr
+
 	evKinds // count sentinel
 )
 
@@ -115,6 +132,16 @@ var eventKindNames = [evKinds]string{
 	EvStallBegin:     "stall",
 	EvStallEnd:       "stall-end",
 	EvEngineDispatch: "engine",
+	EvAccRead:        "acc-read",
+	EvAccWrite:       "acc-write",
+	EvAccRMW:         "acc-rmw",
+	EvAccVerify:      "acc-verify",
+	EvAccFence:       "acc-fence",
+	EvAccSpawn:       "acc-spawn",
+	EvAccWake:        "acc-wake",
+	EvAccSleep:       "acc-sleep",
+	EvAccExit:        "acc-exit",
+	EvAccMap:         "acc-map",
 }
 
 // String names the kind ("write", "update", "net-hop", ...).
@@ -236,6 +263,13 @@ type ObserveConfig struct {
 	// EngineEvents records every sim-engine event dispatch
 	// (EvEngineDispatch) — very verbose; off by default.
 	EngineEvents bool
+	// DataAccess records the per-thread data-access stream (the EvAcc*
+	// kinds) that the happens-before race detector consumes. Off by
+	// default: with it off every emission site is gated out and runs
+	// stay byte-identical to an uninstrumented-access build. Like the
+	// rest of the observer it never schedules events, so turning it on
+	// does not perturb elapsed cycles or counters either.
+	DataAccess bool
 }
 
 // TraceMeta describes the machine an Observer was bound to, for
@@ -406,6 +440,10 @@ func (o *Observer) SampleInterval() sim.Cycles { return o.cfg.SampleEvery }
 
 // EngineEvents reports whether engine dispatches should be recorded.
 func (o *Observer) EngineEvents() bool { return o.cfg.EngineEvents }
+
+// DataAccess reports whether the data-access event layer is on — the
+// single gate every EvAcc* emission site checks after the nil check.
+func (o *Observer) DataAccess() bool { return o.cfg.DataAccess }
 
 // AddSample appends one time-series sample (called by core's sampler).
 func (o *Observer) AddSample(s Sample) { o.samples = append(o.samples, s) }

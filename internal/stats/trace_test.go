@@ -203,3 +203,26 @@ func TestStallSummary(t *testing.T) {
 		t.Fatalf("empty summary = %q", empty)
 	}
 }
+
+// TestAccessEmitZeroAlloc pins the data-access event layer's hot path:
+// emitting the EvAcc* stream the race detector consumes must not
+// allocate, exactly like the protocol events — the layer rides the
+// same preallocated ring.
+func TestAccessEmitZeroAlloc(t *testing.T) {
+	o := NewObserver(ObserveConfig{Events: 1 << 10, DataAccess: true})
+	var now sim.Cycles
+	o.Bind(func() sim.Cycles { return now }, TraceMeta{Nodes: 4})
+	if !o.DataAccess() {
+		t.Fatal("DataAccess not enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++
+		o.Emit(EvAccRead, 1, 0, 0, 0x40, 3<<32|7)
+		o.Emit(EvAccWrite, 1, 1, 0, 0x41, 3<<32|9)
+		o.Emit(EvAccRMW, 2, 1, o.NextCause(), 0x42, 4<<32|1)
+		o.Emit(EvAccFence, 2, 0, 0, 4, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("access emit allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"plus/internal/sim"
+	"plus/internal/stats"
+)
+
+// Format renders the report as a fixed-width table, deterministic for
+// a given stream (suitable for golden comparison across shard counts).
+func (r *Report) Format() string {
+	var b strings.Builder
+	status := "clean"
+	if len(r.Races) > 0 {
+		status = fmt.Sprintf("%d race(s)", len(r.Races))
+	}
+	fmt.Fprintf(&b, "%s: %s — %d thread(s), %d access(es), %d word(s) (%d sync)",
+		r.Name, status, r.Threads, r.Accesses, r.Words, r.SyncWords)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, " [TRUNCATED: %d event(s) overwritten — ring too small, result unsound]", r.Dropped)
+	}
+	b.WriteByte('\n')
+	for i := range r.Races {
+		race := &r.Races[i]
+		fmt.Fprintf(&b, "  race #%d at page %d offset %d\n", i+1, race.Page, race.Off)
+		fmt.Fprintf(&b, "    first : %s\n", siteLine(&race.First))
+		fmt.Fprintf(&b, "    second: %s\n", siteLine(&race.Second))
+		fmt.Fprintf(&b, "    missing sync: %s\n", race.Missing)
+	}
+	return b.String()
+}
+
+func siteLine(s *Site) string {
+	return fmt.Sprintf("%-5s by t%d on node %d at cycle %d (value %d)",
+		s.Kind, s.Tid, s.Node, s.At, s.Value)
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Marks converts the races to trace annotations — one per access site,
+// pinned at the access's cycle — for the Perfetto exporter's
+// annotation track (stats.ObservedRun.Marks).
+func (r *Report) Marks() []stats.Mark {
+	var marks []stats.Mark
+	for i := range r.Races {
+		race := &r.Races[i]
+		for _, s := range []*Site{&race.First, &race.Second} {
+			marks = append(marks, stats.Mark{
+				Name: fmt.Sprintf("race: %s t%d @ page %d+%d", s.Kind, s.Tid, race.Page, race.Off),
+				At:   sim.Cycles(s.At),
+				Args: map[string]any{
+					"page": race.Page, "off": race.Off,
+					"tid": s.Tid, "node": s.Node, "value": s.Value,
+					"missing_sync": race.Missing,
+				},
+			})
+		}
+	}
+	return marks
+}

@@ -120,17 +120,21 @@ func (l *SpinLock) Lock(t *proc.Thread) {
 			return
 		}
 		// Test loop on ordinary reads (which hit a local copy when the
-		// page is replicated) before retrying the RMW.
-		for t.Read(l.w)&memory.TopBit != 0 {
+		// page is replicated) before retrying the RMW. Sync-annotated:
+		// the reads poll a word released by Unlock's Fence+WriteSync.
+		for t.ReadSync(l.w)&memory.TopBit != 0 {
 			t.Compute(spinPause)
 		}
 	}
 }
 
-// Unlock fences and clears the lock word.
+// Unlock fences and clears the lock word. The clearing write is
+// sync-annotated: the fence ahead of it makes it a release (§3.1), and
+// the annotation tells the race detector the lock word is a
+// synchronization word, not shared data.
 func (l *SpinLock) Unlock(t *proc.Thread) {
 	t.Fence()
-	t.Write(l.w, 0)
+	t.WriteSync(l.w, 0)
 }
 
 // Addr returns the lock word's address (for replication).
@@ -157,16 +161,18 @@ func (b *Barrier) GenAddr() memory.VAddr { return b.gen }
 
 // Wait blocks until all n participants have arrived.
 func (b *Barrier) Wait(t *proc.Thread) {
-	g := t.Read(b.gen)
+	g := t.ReadSync(b.gen)
 	if int(t.FaddSync(b.ctr, 1)) == b.n-1 {
 		// Last arrival: reset the counter, make it visible, then flip
-		// the generation to release everyone.
+		// the generation to release everyone. The generation write is
+		// the release (fence-preceded), so it is sync-annotated, as are
+		// the spin reads polling it.
 		t.XchngSync(b.ctr, 0)
 		t.Fence()
-		t.Write(b.gen, g+1)
+		t.WriteSync(b.gen, g+1)
 		return
 	}
-	for t.Read(b.gen) == g {
+	for t.ReadSync(b.gen) == g {
 		t.Compute(spinPause)
 	}
 }
