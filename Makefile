@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json trace-smoke race-smoke scale scale-smoke vet fmt lint experiments experiments-quick golden examples clean
+.PHONY: all check build test race bench bench-json trace-smoke race-smoke scale scale-smoke kvserve-smoke vet fmt lint experiments experiments-quick golden examples clean
 
 all: check
 
@@ -12,7 +12,7 @@ all: check
 # run diverges from its serial twin), scale-smoke reruns that sweep
 # full-featured (contention + tracing at 4 shards), and race-smoke
 # runs the happens-before detection corpus end to end.
-check: build test race lint bench-json trace-smoke race-smoke scale-smoke
+check: build test race lint bench-json trace-smoke race-smoke scale-smoke kvserve-smoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,14 @@ trace-smoke:
 # a clean one is misflagged — either is a detector regression.
 race-smoke:
 	$(GO) run ./cmd/plusbench -races >/dev/null
+
+# Serving-workload smoke: the open-loop Zipfian record-store sweep's
+# quick leg (4x4, skews 0 and 1.2, all three placements) at 4 shard
+# engines with contention on. Every point self-validates its
+# fetch-and-add op counters against the generators' tallies, so the
+# target exits nonzero if the serving path loses an update.
+kvserve-smoke:
+	$(GO) run ./cmd/plusbench -quick -exp kvserve-sweep -shards 4 >/dev/null
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,123 @@
+// Bounded Zipf sampling by rejection-inversion (Hörmann &
+// Derflinger's method for monotone discrete distributions, the
+// algorithm behind the skewed key-popularity generators of the
+// record-serving benchmarks this workload models): samples k in
+// [1, n] with P(k) ∝ k^-s for any skew s >= 0, in O(1) expected
+// draws per sample and with no setup tables, so every frontend can
+// carry its own seeded sampler. s = 0 degenerates to the exact
+// uniform distribution; s = 1 (the harmonic pole) is handled by the
+// expm1/log1p helpers without a special case.
+package kvserve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 1..n with probability proportional to rank^-s.
+// Not safe for concurrent use; give each simulated frontend its own.
+type Zipf struct {
+	rng *rand.Rand
+	n   int64
+	s   float64
+	// Precomputed rejection-inversion bounds (unused when s == 0):
+	// hIntegral(1.5) - 1, hIntegral(n + 0.5), and the acceptance
+	// threshold 2 - hIntegralInverse(hIntegral(2.5) - h(2)).
+	hX1, hN, thresh float64
+}
+
+// NewZipf builds a sampler over ranks [1, n] with skew s >= 0 drawing
+// from rng. It panics on n < 1 or s < 0 (a workload configuration
+// error, not a runtime condition).
+func NewZipf(rng *rand.Rand, s float64, n int64) *Zipf {
+	if n < 1 {
+		panic(fmt.Sprintf("kvserve: zipf over %d elements", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("kvserve: negative zipf skew %v", s))
+	}
+	z := &Zipf{rng: rng, n: n, s: s}
+	if s > 0 {
+		z.hX1 = z.hIntegral(1.5) - 1
+		z.hN = z.hIntegral(float64(n) + 0.5)
+		z.thresh = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	}
+	return z
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int64 { return z.n }
+
+// Skew returns the exponent s.
+func (z *Zipf) Skew() float64 { return z.s }
+
+// Sample draws one rank in [1, n]. Deterministic for a fixed rng
+// seed and draw sequence.
+func (z *Zipf) Sample() int64 {
+	if z.s == 0 {
+		return 1 + z.rng.Int63n(z.n)
+	}
+	for {
+		u := z.hN + z.rng.Float64()*(z.hX1-z.hN)
+		x := z.hIntegralInverse(u)
+		k := int64(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		// Accept k when x fell within the always-accept band around
+		// the integer, or when u clears the exact rejection bound.
+		if float64(k)-x <= z.thresh || u >= z.hIntegral(float64(k)+0.5)-z.h(float64(k)) {
+			return k
+		}
+	}
+}
+
+// h is the density x^-s.
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+// hIntegral is the antiderivative ((x^(1-s) - 1)/(1 - s), continued
+// through the s = 1 pole as log x by the expm1 helper).
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.s)*logX) * logX
+}
+
+// hIntegralInverse inverts hIntegral, continued through s = 1 by the
+// log1p helper.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.s)
+	if t < -1 {
+		t = -1 // numerical round-off below the asymptote
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x, → 1 as x → 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x, → 1 as x → 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}
+
+// Mass returns the exact probability of rank k under the bounded
+// distribution — the closed form the statistical tests check the
+// sampler against. O(n); test/analysis use only.
+func Mass(s float64, n, k int64) float64 {
+	var z float64
+	for i := int64(1); i <= n; i++ {
+		z += math.Exp(-s * math.Log(float64(i)))
+	}
+	return math.Exp(-s*math.Log(float64(k))) / z
+}

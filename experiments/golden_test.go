@@ -75,3 +75,7 @@ func TestGoldenFigure21Contention(t *testing.T) {
 func TestGoldenFaultCrash(t *testing.T) {
 	checkGolden(t, "fault-crash.quick", goldenRun(t, "fault-crash", Options{Quick: true}))
 }
+
+func TestGoldenKvserve(t *testing.T) {
+	checkGolden(t, "kvserve-sweep.quick", goldenRun(t, "kvserve-sweep", Options{Quick: true}))
+}

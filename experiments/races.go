@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 
+	"plus/apps/kvserve"
 	"plus/apps/sor"
 	"plus/apps/sssp"
 	"plus/internal/core"
@@ -42,6 +43,8 @@ const (
 func RacePrograms() []RaceProgram {
 	return []RaceProgram{
 		{Name: "fenced-pair", Racy: false, Run: runFencedPair},
+		{Name: "kvserve", Racy: false, Run: runKvserveRace},
+		{Name: "kvserve-unsync", Racy: true, Run: runKvserveUnsyncRace},
 		{Name: "racy-pair", Racy: true, Run: runRacyPair},
 		{Name: "sor", Racy: false, Run: runSORRace},
 		{Name: "sssp", Racy: false, Run: runSSSPRace},
@@ -189,6 +192,40 @@ func runSORRace(mcfg *core.Config) error {
 		Validate:            true,
 		Machine:             mcfg,
 	})
+	return err
+}
+
+// raceKvserveConfig is the corpus-sized serving workload: every
+// record write is a delayed exchange executed at the master, so the
+// record words are synchronization words and the frontends' plain
+// reads of them are ordered — the detector must report nothing.
+func raceKvserveConfig(mcfg *core.Config) kvserve.Config {
+	return kvserve.Config{
+		MeshW: raceMeshW, MeshH: raceMeshH,
+		RecordsPerTenant: 256, // records on pages 0..7, counters on page 8
+		OpsPerNode:       24,
+		Skew:             0.9,
+		Machine:          mcfg,
+	}
+}
+
+// runKvserveRace is the clean serving workload (fetch-and-add counter
+// aggregation).
+func runKvserveRace(mcfg *core.Config) error {
+	cfg := raceKvserveConfig(mcfg)
+	cfg.Validate = true
+	_, err := kvserve.Run(cfg)
+	return err
+}
+
+// runKvserveUnsyncRace is the directed positive: identical traffic,
+// but the end-of-run per-tenant counter aggregation is a plain
+// read-modify-write — the textbook lost-update race, every counter
+// word torn between frontends with no fence or RMW ordering them.
+func runKvserveUnsyncRace(mcfg *core.Config) error {
+	cfg := raceKvserveConfig(mcfg)
+	cfg.UnsyncCounters = true
+	_, err := kvserve.Run(cfg)
 	return err
 }
 

@@ -46,6 +46,60 @@ func TestRaceCorpus(t *testing.T) {
 	}
 }
 
+// TestRaceKvserveUnsyncCounters is the serving-workload directed pin:
+// the clean variant aggregates per-tenant op counters with
+// fetch-and-add and must come out silent, while the unsynchronized
+// read-modify-write variant must be flagged at both sites of the lost
+// update — the torn write→read pair and the overwriting write→write
+// pair, on the counter page, between distinct frontends.
+func TestRaceKvserveUnsyncCounters(t *testing.T) {
+	byName := map[string]RaceProgram{}
+	for _, p := range RacePrograms() {
+		byName[p.Name] = p
+	}
+	clean, err := RaceReportFor(byName["kvserve"], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Races) != 0 || clean.Dropped != 0 {
+		t.Fatalf("kvserve (synchronized): %d race(s), dropped %d — want silence", len(clean.Races), clean.Dropped)
+	}
+	rep, err := RaceReportFor(byName["kvserve-unsync"], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("kvserve-unsync: lost-update race undetected")
+	}
+	// Layout: 8 one-page tenants on pages 0..7, counters on page 8.
+	const counterPage = 8
+	var writeRead, writeWrite bool
+	for _, r := range rep.Races {
+		if r.Page != counterPage {
+			t.Errorf("race at page %d offset %d — records are synchronized, only counter words (page %d) may race",
+				r.Page, r.Off, counterPage)
+		}
+		if r.First.Tid == r.Second.Tid {
+			t.Errorf("race pair on one thread t%d", r.First.Tid)
+		}
+		if r.First.Kind != "write" {
+			t.Errorf("first site is a %s, want the unreleased write", r.First.Kind)
+		}
+		if r.Missing == "" {
+			t.Error("race missing the missing-sync diagnosis")
+		}
+		switch r.Second.Kind {
+		case "read":
+			writeRead = true
+		case "write":
+			writeWrite = true
+		}
+	}
+	if !writeRead || !writeWrite {
+		t.Fatalf("lost update flagged at one site only: write→read=%v write→write=%v", writeRead, writeWrite)
+	}
+}
+
 // TestRaceReportShardEquivalence pins that race reports are
 // byte-identical between the serial engine and sharded runs at every
 // supported tiling: the merged event stream preserves serial emission

@@ -98,6 +98,8 @@ var registry = []Experiment{
 	scaleExperiment(),
 	newExperiment("ext-linkbuf", "Extension: link-buffer depth vs backpressure (8x8, contention)",
 		linkbufPoints, fillLinkbufSlowdown, FormatLinkbuf, nil),
+	newExperiment("kvserve-sweep", "Serving workload: Zipfian record store tail latency (skew x mesh x placement)",
+		kvservePoints, nil, FormatKvserve, nil),
 }
 
 // ablationExperiment builds a registry entry for a sweep whose rows

@@ -498,6 +498,27 @@ func (m *Machine) ReplicateRange(va memory.VAddr, npages int, nodes ...mesh.Node
 	}
 }
 
+// Prefault installs node's translation for npages pages starting at
+// va's page, outside simulated time — warm page tables for workloads
+// that measure steady-state latency rather than cold-start faulting
+// (a page-table fill costs Timing.PageFault, 2000 cycles, which would
+// swamp an open-loop run's per-op latencies). The same nearest-copy
+// choice the lazy fill would make is installed, so only the 2000-cycle
+// charge differs from faulting lazily.
+func (m *Machine) Prefault(node mesh.NodeID, va memory.VAddr, npages int) {
+	for i := 0; i < npages; i++ {
+		vp := va.Page() + memory.VPage(i)
+		if _, ok := m.tables[node].Lookup(vp); ok {
+			continue
+		}
+		g, err := m.kern.Resolve(node, vp)
+		if err != nil {
+			panic(fmt.Sprintf("core: prefault: %v", err))
+		}
+		m.tables[node].Install(vp, g)
+	}
+}
+
 // Poke initializes the word at va on every copy, outside simulated
 // time.
 func (m *Machine) Poke(va memory.VAddr, v memory.Word) { m.kern.Poke(va, v) }

@@ -1,0 +1,52 @@
+package proc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestArrivalsDeterministic pins the schedule for a fixed seed.
+func TestArrivalsDeterministic(t *testing.T) {
+	a := NewArrivals(rand.New(rand.NewSource(3)), 250)
+	b := NewArrivals(rand.New(rand.NewSource(3)), 250)
+	prev := a.Next()
+	if prev != b.Next() {
+		t.Fatal("same seed, different first arrival")
+	}
+	for i := 0; i < 2000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("draw %d: %d vs %d from the same seed", i, x, y)
+		}
+		if x < prev {
+			t.Fatalf("draw %d: arrival %d before predecessor %d", i, x, prev)
+		}
+		prev = x
+	}
+}
+
+// TestArrivalsMean checks the empirical gap converges on the
+// configured mean (law of large numbers; 50k draws, 5% slack).
+func TestArrivalsMean(t *testing.T) {
+	const mean = 400.0
+	a := NewArrivals(rand.New(rand.NewSource(9)), mean)
+	const n = 50000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = float64(a.Next())
+	}
+	got := last / n
+	if math.Abs(got-mean)/mean > 0.05 {
+		t.Fatalf("empirical mean gap %.1f, want %.0f ± 5%%", got, mean)
+	}
+}
+
+func TestArrivalsRejectsBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero mean accepted")
+		}
+	}()
+	NewArrivals(rand.New(rand.NewSource(1)), 0)
+}

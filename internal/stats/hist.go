@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"strings"
 )
 
@@ -97,6 +98,26 @@ type Metrics struct {
 	// batch (write combining only; 0 entries when MaxBatchWrites is 1).
 	// Values here are words, not cycles.
 	BatchSize Hist `json:"batch_size"`
+	// Classes holds workload-defined named histograms — per-op-class
+	// latency distributions (e.g. kvserve's "kv-read"/"kv-write")
+	// that the fixed fields above can't anticipate. Nil until the
+	// first Class call.
+	Classes map[string]*Hist `json:"classes,omitempty"`
+}
+
+// Class returns the named workload histogram, creating it on first
+// use. Not safe for concurrent callers; workloads observe into
+// per-thread Hists during the run and fold them in here afterwards.
+func (m *Metrics) Class(name string) *Hist {
+	if m.Classes == nil {
+		m.Classes = make(map[string]*Hist)
+	}
+	h := m.Classes[name]
+	if h == nil {
+		h = &Hist{}
+		m.Classes[name] = h
+	}
+	return h
 }
 
 // Add merges another metrics block into m.
@@ -106,6 +127,9 @@ func (m *Metrics) Add(o *Metrics) {
 	m.RMWRound.Add(&o.RMWRound)
 	m.HopQueue.Add(&o.HopQueue)
 	m.BatchSize.Add(&o.BatchSize)
+	for name, h := range o.Classes {
+		m.Class(name).Add(h)
+	}
 }
 
 // Render formats the histograms as a latency table (cycles).
@@ -123,5 +147,13 @@ func (m *Metrics) Render() string {
 	row("rmw-round", &m.RMWRound)
 	row("hop-queue", &m.HopQueue)
 	row("batch-size", &m.BatchSize)
+	names := make([]string, 0, len(m.Classes))
+	for name := range m.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row(name, m.Classes[name])
+	}
 	return b.String()
 }

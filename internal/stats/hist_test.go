@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassHistograms(t *testing.T) {
+	var m Metrics
+	m.Class("kv-read").Observe(10)
+	m.Class("kv-read").Observe(100)
+	m.Class("kv-write").Observe(1000)
+	if got := m.Classes["kv-read"].Count; got != 2 {
+		t.Fatalf("kv-read count = %d, want 2", got)
+	}
+	if same := m.Class("kv-read"); same != m.Classes["kv-read"] {
+		t.Fatal("Class returned a fresh histogram for an existing name")
+	}
+
+	// Merging (the shard-fold path) must carry classes across,
+	// creating them on the target as needed.
+	var folded Metrics
+	folded.Class("kv-write").Observe(7)
+	folded.Add(&m)
+	if got := folded.Classes["kv-read"].Count; got != 2 {
+		t.Fatalf("folded kv-read count = %d, want 2", got)
+	}
+	if got := folded.Classes["kv-write"].Count; got != 2 {
+		t.Fatalf("folded kv-write count = %d, want 2", got)
+	}
+
+	// Render lists class rows after the fixed rows, in name order.
+	out := folded.Render()
+	ri := strings.Index(out, "kv-read")
+	wi := strings.Index(out, "kv-write")
+	if ri < 0 || wi < 0 || wi < ri {
+		t.Fatalf("class rows missing or unsorted in render:\n%s", out)
+	}
+	if strings.Index(out, "batch-size") > ri {
+		t.Fatalf("class rows precede the fixed rows:\n%s", out)
+	}
+}

@@ -131,6 +131,32 @@ func Apply(m *core.Machine, plan Plan) error {
 	return nil
 }
 
+// ReplicateHot pre-replicates the hottest pages of a skewed workload
+// before the run — the static "replicated-hot" placement policy. The
+// caller names the hot pages (for a Zipfian key space they are known
+// a priori: the lowest-ranked keys' pages); each gets copies on
+// `copies` nodes spread evenly across the mesh in node order, so the
+// read traffic for a hot page splits across the machine instead of
+// converging on its master. Replicas that would land on the master
+// (or an existing copy holder) are skipped, not double-installed.
+// Must be called before Machine.Run.
+func ReplicateHot(m *core.Machine, pages []memory.VPage, copies int) error {
+	n := m.Nodes()
+	if copies > n {
+		copies = n
+	}
+	for _, vp := range pages {
+		if len(m.Kernel().CopyList(vp)) == 0 {
+			return fmt.Errorf("placement: hot page %d not allocated", vp)
+		}
+		for i := 0; i < copies; i++ {
+			dst := mesh.NodeID(i * n / copies)
+			m.Kernel().ReplicateNow(vp, dst)
+		}
+	}
+	return nil
+}
+
 // Pages returns how many pages the plan touches.
 func (p Plan) Pages() int {
 	touched := make(map[memory.VPage]bool)

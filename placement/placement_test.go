@@ -104,6 +104,41 @@ func TestComputeReplicasBounded(t *testing.T) {
 	}
 }
 
+func TestReplicateHot(t *testing.T) {
+	m, err := core.NewMachine(core.DefaultConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := m.Alloc(0, 2)
+	if err := ReplicateHot(m, []memory.VPage{hot.Page(), hot.Page() + 1}, 4); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		vp := hot.Page() + memory.VPage(p)
+		// copies = 4 over 8 nodes → masters/copies at nodes 0, 2, 4, 6
+		// (node 0 already holds the master; no duplicate copy).
+		for _, n := range []mesh.NodeID{0, 2, 4, 6} {
+			if !m.Kernel().HasCopy(vp, n) {
+				t.Fatalf("page %d missing copy on node %d", vp, n)
+			}
+		}
+		if got := len(m.Kernel().CopyList(vp)); got != 4 {
+			t.Fatalf("page %d has %d copies, want 4", vp, got)
+		}
+	}
+	// Asking for more copies than nodes clamps instead of wrapping.
+	deep := m.Alloc(1, 1)
+	if err := ReplicateHot(m, []memory.VPage{deep.Page()}, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Kernel().CopyList(deep.Page())); got != 8 {
+		t.Fatalf("clamped replication left %d copies, want 8", got)
+	}
+	if err := ReplicateHot(m, []memory.VPage{1234}, 2); err == nil {
+		t.Fatal("unallocated hot page accepted")
+	}
+}
+
 func TestApplyRejectsUnknownPage(t *testing.T) {
 	m, err := core.NewMachine(core.DefaultConfig(2, 1))
 	if err != nil {
